@@ -1,0 +1,335 @@
+//! Satisfiability of conjunctions of linear integer constraints.
+//!
+//! The solver implements Fourier–Motzkin elimination with equality substitution, integer
+//! tightening (normalising coefficients by their gcd) and divisibility checks on
+//! equalities — the classic core of the Omega test.
+//!
+//! The solver is used to establish *unsatisfiability*: provers call it on the negation of
+//! a goal, and only an [`Outcome::Unsat`] answer is used to claim validity. Consequently:
+//!
+//! * [`Outcome::Unsat`] is definitive (the constraints have no rational — and hence no
+//!   integer — solution, or fail an integer divisibility check),
+//! * [`Outcome::Sat`] means the constraints are satisfiable over the rationals and not
+//!   refuted by the integer checks; they may still be unsatisfiable over the integers,
+//! * [`Outcome::Unknown`] is returned when resource limits are exceeded.
+//!
+//! This asymmetry keeps every prover built on top of the solver sound.
+
+use crate::linear::{gcd, Constraint, LinExpr, Rel, VarId};
+use std::collections::BTreeSet;
+
+/// Result of a satisfiability check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The constraints are definitely unsatisfiable (over the integers).
+    Unsat,
+    /// The constraints are satisfiable over the rationals (and not refuted by integer
+    /// divisibility checks); integer satisfiability is not guaranteed.
+    Sat,
+    /// The solver gave up (resource limits exceeded).
+    Unknown,
+}
+
+/// Configuration limits for the solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum number of inequality constraints the elimination may create.
+    pub max_constraints: usize,
+    /// Maximum absolute value of any coefficient before giving up.
+    pub max_coefficient: i128,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_constraints: 20_000,
+            max_coefficient: 1 << 60,
+        }
+    }
+}
+
+/// Decides satisfiability of a conjunction of constraints with default limits.
+pub fn check(constraints: &[Constraint]) -> Outcome {
+    check_with_limits(constraints, Limits::default())
+}
+
+/// Decides satisfiability of a conjunction of constraints.
+pub fn check_with_limits(constraints: &[Constraint], limits: Limits) -> Outcome {
+    let mut equalities: Vec<LinExpr> = Vec::new();
+    let mut inequalities: Vec<LinExpr> = Vec::new();
+    for c in constraints {
+        match c.rel {
+            Rel::Eq => equalities.push(c.expr.clone()),
+            Rel::Le => inequalities.push(c.expr.clone()),
+        }
+    }
+
+    // Phase 1: eliminate equalities.
+    loop {
+        // Constant equalities decide themselves.
+        equalities.retain(|e| !(e.is_constant() && e.constant_term() == 0));
+        if equalities.iter().any(|e| e.is_constant() && e.constant_term() != 0) {
+            return Outcome::Unsat;
+        }
+        // Divisibility check: gcd of coefficients must divide the constant.
+        for e in &equalities {
+            let g = e.coeff_gcd();
+            if g > 1 && e.constant_term() % g != 0 {
+                return Outcome::Unsat;
+            }
+        }
+        // Find an equality with a +/-1 coefficient and substitute it away.
+        let target = equalities.iter().enumerate().find_map(|(i, e)| {
+            e.iter()
+                .find(|(_, c)| c.abs() == 1)
+                .map(|(v, c)| (i, v, c))
+        });
+        let Some((idx, var, coeff)) = target else { break };
+        let eq = equalities.remove(idx);
+        // coeff * var + rest = 0  =>  var = -(rest) / coeff, and coeff is +/-1.
+        let mut rest = eq.clone();
+        rest.add_term(var, -coeff);
+        let solution = rest.scale(-coeff); // value of `var`
+        for e in equalities.iter_mut().chain(inequalities.iter_mut()) {
+            substitute_var(e, var, &solution);
+        }
+    }
+    // Remaining equalities without unit coefficients become inequality pairs.
+    for e in equalities {
+        inequalities.push(e.clone());
+        inequalities.push(e.scale(-1));
+    }
+
+    // Phase 2: Fourier–Motzkin elimination on the inequalities.
+    fourier_motzkin(inequalities, limits)
+}
+
+fn substitute_var(e: &mut LinExpr, var: VarId, value: &LinExpr) {
+    let c = e.coeff(var);
+    if c == 0 {
+        return;
+    }
+    e.add_term(var, -c);
+    let scaled = value.scale(c);
+    for (v, k) in scaled.iter() {
+        e.add_term(v, k);
+    }
+    e.add_constant(scaled.constant_term());
+}
+
+/// Tightens `expr <= 0` by dividing through by the gcd of the coefficients.
+fn tighten(e: &LinExpr) -> LinExpr {
+    let g = e.coeff_gcd();
+    if g <= 1 {
+        return e.clone();
+    }
+    let mut out = LinExpr::zero();
+    for (v, c) in e.iter() {
+        out.add_term(v, c / g);
+    }
+    // sum a_i x_i <= -c  =>  sum (a_i/g) x_i <= floor(-c / g)
+    let bound = (-e.constant_term()).div_euclid(g);
+    out.add_constant(-bound);
+    out
+}
+
+fn fourier_motzkin(mut inequalities: Vec<LinExpr>, limits: Limits) -> Outcome {
+    loop {
+        // Normalise and check ground constraints.
+        let mut next = Vec::with_capacity(inequalities.len());
+        for e in &inequalities {
+            let t = tighten(e);
+            if t.is_constant() {
+                if t.constant_term() > 0 {
+                    return Outcome::Unsat;
+                }
+                continue;
+            }
+            if t.iter().any(|(_, c)| c.abs() > limits.max_coefficient) {
+                return Outcome::Unknown;
+            }
+            next.push(t);
+        }
+        inequalities = next;
+        dedup(&mut inequalities);
+        if inequalities.is_empty() {
+            return Outcome::Sat;
+        }
+        if inequalities.len() > limits.max_constraints {
+            return Outcome::Unknown;
+        }
+
+        // Choose the variable whose elimination creates the fewest new constraints.
+        let vars: BTreeSet<VarId> = inequalities.iter().flat_map(|e| e.vars()).collect();
+        let var = vars
+            .iter()
+            .copied()
+            .min_by_key(|v| {
+                let pos = inequalities.iter().filter(|e| e.coeff(*v) > 0).count();
+                let neg = inequalities.iter().filter(|e| e.coeff(*v) < 0).count();
+                pos * neg
+            })
+            .expect("non-empty constraint set has variables");
+
+        let (with_var, without): (Vec<LinExpr>, Vec<LinExpr>) =
+            inequalities.into_iter().partition(|e| e.coeff(var) != 0);
+        let upper: Vec<&LinExpr> = with_var.iter().filter(|e| e.coeff(var) > 0).collect();
+        let lower: Vec<&LinExpr> = with_var.iter().filter(|e| e.coeff(var) < 0).collect();
+
+        let mut combined = without;
+        for u in &upper {
+            for l in &lower {
+                // u: a*x + p <= 0 (a > 0)   l: -b*x + q <= 0 (b > 0)
+                // Combine: b*p + a*q <= 0.
+                let a = u.coeff(var);
+                let b = -l.coeff(var);
+                let g = gcd(a, b);
+                let combined_expr = u.scale(b / g).add(&l.scale(a / g));
+                debug_assert_eq!(combined_expr.coeff(var), 0);
+                combined.push(combined_expr);
+                if combined.len() > limits.max_constraints {
+                    return Outcome::Unknown;
+                }
+            }
+        }
+        inequalities = combined;
+    }
+}
+
+fn dedup(constraints: &mut Vec<LinExpr>) {
+    constraints.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    constraints.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::{Constraint, LinExpr};
+
+    fn var(v: VarId) -> LinExpr {
+        LinExpr::var(v)
+    }
+
+    fn cst(c: i128) -> LinExpr {
+        LinExpr::constant(c)
+    }
+
+    #[test]
+    fn empty_system_is_sat() {
+        assert_eq!(check(&[]), Outcome::Sat);
+    }
+
+    #[test]
+    fn simple_bounds_are_sat() {
+        // 0 <= x <= 10, x = 5
+        let cs = vec![
+            Constraint::ge(var(0), cst(0)),
+            Constraint::le(var(0), cst(10)),
+            Constraint::eq(var(0), cst(5)),
+        ];
+        assert_eq!(check(&cs), Outcome::Sat);
+    }
+
+    #[test]
+    fn contradictory_bounds_are_unsat() {
+        // x <= 3 and x >= 5
+        let cs = vec![
+            Constraint::le(var(0), cst(3)),
+            Constraint::ge(var(0), cst(5)),
+        ];
+        assert_eq!(check(&cs), Outcome::Unsat);
+    }
+
+    #[test]
+    fn equality_substitution_detects_conflict() {
+        // x = y + 1, y = x  is unsatisfiable.
+        let cs = vec![
+            Constraint::eq(var(0), var(1).add(&cst(1))),
+            Constraint::eq(var(1), var(0)),
+        ];
+        assert_eq!(check(&cs), Outcome::Unsat);
+    }
+
+    #[test]
+    fn divisibility_check_refutes_parity_conflicts() {
+        // 2x = 5 has no integer solution.
+        let cs = vec![Constraint::eq(var(0).scale(2), cst(5))];
+        assert_eq!(check(&cs), Outcome::Unsat);
+    }
+
+    #[test]
+    fn chained_inequalities_propagate() {
+        // x < y, y < z, z < x  is unsatisfiable.
+        let cs = vec![
+            Constraint::lt(var(0), var(1)),
+            Constraint::lt(var(1), var(2)),
+            Constraint::lt(var(2), var(0)),
+        ];
+        assert_eq!(check(&cs), Outcome::Unsat);
+        // Dropping one leaves it satisfiable.
+        let cs2 = vec![
+            Constraint::lt(var(0), var(1)),
+            Constraint::lt(var(1), var(2)),
+        ];
+        assert_eq!(check(&cs2), Outcome::Sat);
+    }
+
+    #[test]
+    fn size_invariant_style_reasoning() {
+        // size = card, card >= 0, size + 1 <= 0  is unsatisfiable
+        // (models "size of a set cannot be negative").
+        let cs = vec![
+            Constraint::eq(var(0), var(1)),
+            Constraint::ge(var(1), cst(0)),
+            Constraint::le(var(0).add(&cst(1)), cst(0)),
+        ];
+        assert_eq!(check(&cs), Outcome::Unsat);
+    }
+
+    #[test]
+    fn integer_tightening_strengthens_bounds() {
+        // 2x <= 5 and 2x >= 5 has no integer solution; tightening x <= 2, x >= 3 refutes it.
+        let cs = vec![
+            Constraint::le(var(0).scale(2), cst(5)),
+            Constraint::ge(var(0).scale(2), cst(5)),
+        ];
+        assert_eq!(check(&cs), Outcome::Unsat);
+    }
+
+    #[test]
+    fn multi_variable_system() {
+        // x + y <= 4, x >= 3, y >= 3 is unsatisfiable.
+        let cs = vec![
+            Constraint::le(var(0).add(&var(1)), cst(4)),
+            Constraint::ge(var(0), cst(3)),
+            Constraint::ge(var(1), cst(3)),
+        ];
+        assert_eq!(check(&cs), Outcome::Unsat);
+        // Relaxing the sum makes it satisfiable.
+        let cs2 = vec![
+            Constraint::le(var(0).add(&var(1)), cst(8)),
+            Constraint::ge(var(0), cst(3)),
+            Constraint::ge(var(1), cst(3)),
+        ];
+        assert_eq!(check(&cs2), Outcome::Sat);
+    }
+
+    #[test]
+    fn resource_limits_produce_unknown() {
+        // A dense system with tiny limits trips the constraint budget.
+        let mut cs = Vec::new();
+        for i in 0..6u32 {
+            for j in 0..6u32 {
+                if i != j {
+                    cs.push(Constraint::le(var(i).add(&var(j)), cst((i + j) as i128)));
+                    cs.push(Constraint::ge(var(i).sub(&var(j)), cst(-3)));
+                }
+            }
+        }
+        let limits = Limits {
+            max_constraints: 4,
+            max_coefficient: 1 << 60,
+        };
+        assert_eq!(check_with_limits(&cs, limits), Outcome::Unknown);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests of the Presburger solver: soundness of `Unsat` answers.
+
+use jahob_arith::{check, Constraint, LinExpr, Outcome};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn arb_expr() -> impl Strategy<Value = LinExpr> {
+    (
+        proptest::collection::vec((0u32..4, -4i128..5), 0..4),
+        -10i128..11,
+    )
+        .prop_map(|(terms, c)| {
+            let mut e = LinExpr::constant(c);
+            for (v, k) in terms {
+                e.add_term(v, k);
+            }
+            e
+        })
+}
+
+fn arb_constraint() -> impl Strategy<Value = Constraint> {
+    (arb_expr(), arb_expr(), prop::bool::ANY).prop_map(|(a, b, eq)| {
+        if eq {
+            Constraint::eq(a, b)
+        } else {
+            Constraint::le(a, b)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// If the solver says `Unsat`, no assignment with small values satisfies all
+    /// constraints (soundness spot-check over an exhaustive small cube).
+    #[test]
+    fn unsat_answers_have_no_small_models(cs in proptest::collection::vec(arb_constraint(), 1..5)) {
+        if check(&cs) == Outcome::Unsat {
+            let range: Vec<i128> = (-3..=3).collect();
+            for a in &range {
+                for b in &range {
+                    for c in &range {
+                        for d in &range {
+                            let mut assignment = BTreeMap::new();
+                            assignment.insert(0u32, *a);
+                            assignment.insert(1u32, *b);
+                            assignment.insert(2u32, *c);
+                            assignment.insert(3u32, *d);
+                            prop_assert!(
+                                !cs.iter().all(|k| k.holds(&assignment)),
+                                "solver said Unsat but {assignment:?} satisfies the system"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A system with an explicit integer witness is never reported unsatisfiable.
+    #[test]
+    fn systems_with_known_models_are_not_refuted(
+        vals in proptest::collection::vec(-5i128..6, 4),
+        cs in proptest::collection::vec(arb_constraint(), 1..5)
+    ) {
+        let mut assignment = BTreeMap::new();
+        for (i, v) in vals.iter().enumerate() {
+            assignment.insert(i as u32, *v);
+        }
+        let satisfied: Vec<Constraint> =
+            cs.into_iter().filter(|c| c.holds(&assignment)).collect();
+        if !satisfied.is_empty() {
+            prop_assert_ne!(check(&satisfied), Outcome::Unsat);
+        }
+    }
+}

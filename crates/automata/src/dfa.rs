@@ -1,0 +1,410 @@
+//! Deterministic finite automata over multi-track binary alphabets.
+//!
+//! A word over `k` tracks assigns, at each position, a bit to every track. A symbol is
+//! therefore an integer in `0..2^k` whose `i`-th bit is the value of track `i`. This is
+//! exactly the representation used by MONA for WS1S: each free variable of a formula owns
+//! one track (first-order variables are encoded as singleton sets by the caller).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A state index.
+pub type State = usize;
+
+/// A complete deterministic finite automaton over a `2^num_tracks` symbol alphabet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dfa {
+    num_tracks: usize,
+    initial: State,
+    accepting: Vec<bool>,
+    /// `trans[state][symbol]` is the successor state; every row has `2^num_tracks`
+    /// entries, so the automaton is complete.
+    trans: Vec<Vec<State>>,
+}
+
+impl Dfa {
+    /// Creates a DFA. `trans[s][a]` must be defined for every state `s` and symbol
+    /// `a < 2^num_tracks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transition table is not complete or refers to unknown states.
+    pub fn new(num_tracks: usize, initial: State, accepting: Vec<bool>, trans: Vec<Vec<State>>) -> Self {
+        let n = accepting.len();
+        let symbols = 1usize << num_tracks;
+        assert_eq!(trans.len(), n, "transition table must cover every state");
+        assert!(initial < n, "initial state out of range");
+        for row in &trans {
+            assert_eq!(row.len(), symbols, "transition row must cover every symbol");
+            for &t in row {
+                assert!(t < n, "transition target out of range");
+            }
+        }
+        Dfa {
+            num_tracks,
+            initial,
+            accepting,
+            trans,
+        }
+    }
+
+    /// The number of tracks.
+    pub fn num_tracks(&self) -> usize {
+        self.num_tracks
+    }
+
+    /// The number of states.
+    pub fn num_states(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// The number of symbols (`2^num_tracks`).
+    pub fn num_symbols(&self) -> usize {
+        1usize << self.num_tracks
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> State {
+        self.initial
+    }
+
+    /// Whether `state` is accepting.
+    pub fn is_accepting(&self, state: State) -> bool {
+        self.accepting[state]
+    }
+
+    /// The successor of `state` on `symbol`.
+    pub fn step(&self, state: State, symbol: usize) -> State {
+        self.trans[state][symbol]
+    }
+
+    /// A DFA over `num_tracks` tracks accepting every word.
+    pub fn all(num_tracks: usize) -> Self {
+        let symbols = 1usize << num_tracks;
+        Dfa::new(num_tracks, 0, vec![true], vec![vec![0; symbols]])
+    }
+
+    /// A DFA over `num_tracks` tracks accepting no word.
+    pub fn none(num_tracks: usize) -> Self {
+        let symbols = 1usize << num_tracks;
+        Dfa::new(num_tracks, 0, vec![false], vec![vec![0; symbols]])
+    }
+
+    /// Runs the automaton on a word (a sequence of symbols) and reports acceptance.
+    pub fn accepts(&self, word: &[usize]) -> bool {
+        let mut s = self.initial;
+        for &a in word {
+            s = self.trans[s][a];
+        }
+        self.accepting[s]
+    }
+
+    /// The complement automaton (accepting exactly the rejected words).
+    pub fn complement(&self) -> Dfa {
+        let mut out = self.clone();
+        for a in &mut out.accepting {
+            *a = !*a;
+        }
+        out
+    }
+
+    /// Product construction. `accept(a, b)` decides acceptance of a product state from
+    /// the acceptance of its components (e.g. `&&` for intersection, `||` for union).
+    pub fn product(&self, other: &Dfa, accept: impl Fn(bool, bool) -> bool) -> Dfa {
+        self.product_bounded(other, accept, usize::MAX)
+            .expect("unbounded product cannot exceed its limit")
+    }
+
+    /// Product construction with a state budget: returns `None` if the reachable part of
+    /// the product has more than `max_states` states. Used by clients (such as the WS1S
+    /// decision procedure) that must bail out gracefully instead of building enormous
+    /// intermediate automata.
+    pub fn product_bounded(
+        &self,
+        other: &Dfa,
+        accept: impl Fn(bool, bool) -> bool,
+        max_states: usize,
+    ) -> Option<Dfa> {
+        assert_eq!(
+            self.num_tracks, other.num_tracks,
+            "product requires identical track counts"
+        );
+        let symbols = self.num_symbols();
+        let mut index: BTreeMap<(State, State), State> = BTreeMap::new();
+        let mut order: Vec<(State, State)> = Vec::new();
+        let mut queue = VecDeque::new();
+        index.insert((self.initial, other.initial), 0);
+        order.push((self.initial, other.initial));
+        queue.push_back((self.initial, other.initial));
+        let mut trans: Vec<Vec<State>> = Vec::new();
+        while let Some((p, q)) = queue.pop_front() {
+            let mut row = Vec::with_capacity(symbols);
+            for a in 0..symbols {
+                let succ = (self.trans[p][a], other.trans[q][a]);
+                let id = *index.entry(succ).or_insert_with(|| {
+                    order.push(succ);
+                    queue.push_back(succ);
+                    order.len() - 1
+                });
+                row.push(id);
+            }
+            if order.len() > max_states {
+                return None;
+            }
+            trans.push(row);
+        }
+        let accepting = order
+            .iter()
+            .map(|&(p, q)| accept(self.accepting[p], other.accepting[q]))
+            .collect();
+        Some(Dfa::new(self.num_tracks, 0, accepting, trans))
+    }
+
+    /// Intersection of the two languages.
+    pub fn intersect(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a && b)
+    }
+
+    /// Intersection with a state budget (see [`Dfa::product_bounded`]).
+    pub fn intersect_bounded(&self, other: &Dfa, max_states: usize) -> Option<Dfa> {
+        self.product_bounded(other, |a, b| a && b, max_states)
+    }
+
+    /// Union of the two languages.
+    pub fn union(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a || b)
+    }
+
+    /// Union with a state budget (see [`Dfa::product_bounded`]).
+    pub fn union_bounded(&self, other: &Dfa, max_states: usize) -> Option<Dfa> {
+        self.product_bounded(other, |a, b| a || b, max_states)
+    }
+
+    /// Returns `true` if the language is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shortest_accepted().is_none()
+    }
+
+    /// Returns a shortest accepted word, if any (breadth-first search).
+    pub fn shortest_accepted(&self) -> Option<Vec<usize>> {
+        let mut visited = vec![false; self.num_states()];
+        let mut parent: Vec<Option<(State, usize)>> = vec![None; self.num_states()];
+        let mut queue = VecDeque::new();
+        visited[self.initial] = true;
+        queue.push_back(self.initial);
+        let mut found = None;
+        if self.accepting[self.initial] {
+            found = Some(self.initial);
+        }
+        while found.is_none() {
+            let Some(s) = queue.pop_front() else { break };
+            for a in 0..self.num_symbols() {
+                let t = self.trans[s][a];
+                if !visited[t] {
+                    visited[t] = true;
+                    parent[t] = Some((s, a));
+                    if self.accepting[t] {
+                        found = Some(t);
+                        break;
+                    }
+                    queue.push_back(t);
+                }
+            }
+        }
+        let mut state = found?;
+        let mut word = Vec::new();
+        while let Some((prev, sym)) = parent[state] {
+            word.push(sym);
+            state = prev;
+        }
+        word.reverse();
+        Some(word)
+    }
+
+    /// Extends acceptance to words that reach an accepting state after appending some
+    /// number of all-zero symbols. This is the standard WS1S adjustment after projecting
+    /// an existentially quantified track: the witness set may mention positions beyond
+    /// the original word, which appear as trailing zero columns for the free variables.
+    pub fn accept_zero_extensions(&self) -> Dfa {
+        let mut out = self.clone();
+        // A state is accepting if some accepting state is reachable by zero symbols only.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for s in 0..out.num_states() {
+                if !out.accepting[s] && out.accepting[out.trans[s][0]] {
+                    out.accepting[s] = true;
+                    changed = true;
+                }
+            }
+        }
+        out
+    }
+
+    /// Minimises the automaton (Moore's partition refinement) after removing unreachable
+    /// states.
+    pub fn minimize(&self) -> Dfa {
+        // Restrict to reachable states.
+        let mut reachable = vec![false; self.num_states()];
+        let mut queue = VecDeque::new();
+        reachable[self.initial] = true;
+        queue.push_back(self.initial);
+        while let Some(s) = queue.pop_front() {
+            for a in 0..self.num_symbols() {
+                let t = self.trans[s][a];
+                if !reachable[t] {
+                    reachable[t] = true;
+                    queue.push_back(t);
+                }
+            }
+        }
+        let states: Vec<State> = (0..self.num_states()).filter(|&s| reachable[s]).collect();
+        // Initial partition: accepting vs rejecting.
+        let mut class: BTreeMap<State, usize> = states
+            .iter()
+            .map(|&s| (s, usize::from(self.accepting[s])))
+            .collect();
+        loop {
+            // Signature of a state: its class and the classes of its successors.
+            let mut signatures: BTreeMap<(usize, Vec<usize>), usize> = BTreeMap::new();
+            let mut next_class: BTreeMap<State, usize> = BTreeMap::new();
+            for &s in &states {
+                let sig = (
+                    class[&s],
+                    (0..self.num_symbols())
+                        .map(|a| class[&self.trans[s][a]])
+                        .collect::<Vec<_>>(),
+                );
+                let n = signatures.len();
+                let id = *signatures.entry(sig).or_insert(n);
+                next_class.insert(s, id);
+            }
+            if next_class == class {
+                break;
+            }
+            class = next_class;
+        }
+        let num_classes = class.values().copied().collect::<BTreeSet<_>>().len();
+        let mut representatives: Vec<Option<State>> = vec![None; num_classes];
+        for &s in &states {
+            let c = class[&s];
+            if representatives[c].is_none() {
+                representatives[c] = Some(s);
+            }
+        }
+        let mut accepting = vec![false; num_classes];
+        let mut trans = vec![vec![0; self.num_symbols()]; num_classes];
+        for (c, rep) in representatives.iter().enumerate() {
+            let rep = rep.expect("every class has a representative");
+            accepting[c] = self.accepting[rep];
+            for a in 0..self.num_symbols() {
+                trans[c][a] = class[&self.trans[rep][a]];
+            }
+        }
+        Dfa::new(self.num_tracks, class[&self.initial], accepting, trans)
+    }
+
+    /// Returns `true` if the two automata accept the same language.
+    pub fn equivalent(&self, other: &Dfa) -> bool {
+        self.product(other, |a, b| a != b).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// DFA over one track accepting words with an even number of 1s.
+    fn even_ones() -> Dfa {
+        Dfa::new(
+            1,
+            0,
+            vec![true, false],
+            vec![vec![0, 1], vec![1, 0]],
+        )
+    }
+
+    /// DFA over one track accepting words containing at least one 1.
+    fn contains_one() -> Dfa {
+        Dfa::new(1, 0, vec![false, true], vec![vec![0, 1], vec![1, 1]])
+    }
+
+    #[test]
+    fn accepts_runs_the_automaton() {
+        let d = even_ones();
+        assert!(d.accepts(&[]));
+        assert!(d.accepts(&[1, 1]));
+        assert!(!d.accepts(&[1, 0]));
+    }
+
+    #[test]
+    fn complement_flips_acceptance() {
+        let d = even_ones().complement();
+        assert!(!d.accepts(&[]));
+        assert!(d.accepts(&[1]));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let both = even_ones().intersect(&contains_one());
+        assert!(both.accepts(&[1, 1]));
+        assert!(!both.accepts(&[]));
+        assert!(!both.accepts(&[1]));
+        let either = even_ones().union(&contains_one());
+        assert!(either.accepts(&[]));
+        assert!(either.accepts(&[1]));
+        assert!(!either.accepts(&[0]) || either.accepts(&[0])); // total function sanity
+    }
+
+    #[test]
+    fn emptiness_and_witness() {
+        assert!(Dfa::none(1).is_empty());
+        assert!(!Dfa::all(2).is_empty());
+        let d = even_ones().intersect(&contains_one());
+        let w = d.shortest_accepted().expect("non-empty");
+        assert!(d.accepts(&w));
+        assert_eq!(w.len(), 2);
+        // Intersecting a language with its complement is empty.
+        assert!(even_ones().intersect(&even_ones().complement()).is_empty());
+    }
+
+    #[test]
+    fn zero_extension_acceptance() {
+        // Accepts exactly words of length >= 2 (regardless of bits).
+        let d = Dfa::new(
+            1,
+            0,
+            vec![false, false, true],
+            vec![vec![1, 1], vec![2, 2], vec![2, 2]],
+        );
+        let z = d.accept_zero_extensions();
+        // The empty word extends with two zero symbols to an accepted word.
+        assert!(z.accepts(&[]));
+        assert!(z.accepts(&[1]));
+    }
+
+    #[test]
+    fn minimization_preserves_language() {
+        // A redundant automaton for "even number of ones" with duplicated states.
+        let redundant = Dfa::new(
+            1,
+            0,
+            vec![true, false, true, false],
+            vec![vec![2, 1], vec![3, 0], vec![0, 3], vec![1, 2]],
+        );
+        let min = redundant.minimize();
+        assert_eq!(min.num_states(), 2);
+        assert!(min.equivalent(&even_ones()));
+    }
+
+    #[test]
+    fn equivalence_check() {
+        assert!(even_ones().equivalent(&even_ones().minimize()));
+        assert!(!even_ones().equivalent(&contains_one()));
+    }
+
+    #[test]
+    #[should_panic(expected = "transition row must cover every symbol")]
+    fn incomplete_table_is_rejected() {
+        let _ = Dfa::new(1, 0, vec![true], vec![vec![0]]);
+    }
+}

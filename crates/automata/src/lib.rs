@@ -1,0 +1,35 @@
+//! # jahob-automata
+//!
+//! Explicit-state finite automata over multi-track binary alphabets: the substrate for
+//! the WS1S (monadic second-order logic over finite strings) decision procedure in
+//! `jahob-mona`, which plays the role of MONA in the Jahob reproduction (§6.4 of
+//! *Full Functional Verification of Linked Data Structures*, PLDI 2008).
+//!
+//! Words assign a bit to each of `k` tracks at every position; a symbol is an integer in
+//! `0..2^k`. Deterministic automata ([`Dfa`]) support complement, product (intersection
+//! and union), emptiness with witness extraction, minimisation and the "zero extension"
+//! closure needed after quantifier projection. Nondeterministic automata ([`Nfa`])
+//! support track projection (existential quantification) and subset-construction
+//! determinisation.
+//!
+//! # Example
+//!
+//! ```
+//! use jahob_automata::{Dfa, Nfa};
+//!
+//! // Over two tracks, "the two tracks agree at every position".
+//! let equal = Dfa::new(2, 0, vec![true, false],
+//!                      vec![vec![0, 1, 1, 0], vec![1, 1, 1, 1]]);
+//! // Existentially quantifying one track leaves the universal language.
+//! let projected = Nfa::from_dfa(&equal).project(1).determinize();
+//! assert!(projected.equivalent(&Dfa::all(2)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dfa;
+pub mod nfa;
+
+pub use dfa::{Dfa, State};
+pub use nfa::Nfa;

@@ -1,0 +1,253 @@
+//! Nondeterministic finite automata and the operations WS1S needs from them:
+//! track projection (existential quantification) and subset-construction determinisation.
+
+use crate::dfa::{Dfa, State};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A nondeterministic finite automaton over a multi-track binary alphabet (no epsilon
+/// transitions; they are not needed for the WS1S constructions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Nfa {
+    num_tracks: usize,
+    initial: BTreeSet<State>,
+    accepting: Vec<bool>,
+    /// `trans[state][symbol]` is the set of successor states.
+    trans: Vec<Vec<BTreeSet<State>>>,
+}
+
+impl Nfa {
+    /// Creates an NFA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transition table shape does not match the number of states/symbols.
+    pub fn new(
+        num_tracks: usize,
+        initial: BTreeSet<State>,
+        accepting: Vec<bool>,
+        trans: Vec<Vec<BTreeSet<State>>>,
+    ) -> Self {
+        let n = accepting.len();
+        let symbols = 1usize << num_tracks;
+        assert_eq!(trans.len(), n, "transition table must cover every state");
+        for row in &trans {
+            assert_eq!(row.len(), symbols, "transition row must cover every symbol");
+            for succ in row {
+                for &t in succ {
+                    assert!(t < n, "transition target out of range");
+                }
+            }
+        }
+        for &s in &initial {
+            assert!(s < n, "initial state out of range");
+        }
+        Nfa {
+            num_tracks,
+            initial,
+            accepting,
+            trans,
+        }
+    }
+
+    /// The number of tracks.
+    pub fn num_tracks(&self) -> usize {
+        self.num_tracks
+    }
+
+    /// The number of symbols.
+    pub fn num_symbols(&self) -> usize {
+        1usize << self.num_tracks
+    }
+
+    /// Converts a DFA into an equivalent NFA.
+    pub fn from_dfa(dfa: &Dfa) -> Nfa {
+        let n = dfa.num_states();
+        let symbols = dfa.num_symbols();
+        let mut trans = vec![vec![BTreeSet::new(); symbols]; n];
+        #[allow(clippy::needless_range_loop)]
+        for s in 0..n {
+            for a in 0..symbols {
+                trans[s][a].insert(dfa.step(s, a));
+            }
+        }
+        Nfa::new(
+            dfa.num_tracks(),
+            BTreeSet::from([dfa.initial()]),
+            (0..n).map(|s| dfa.is_accepting(s)).collect(),
+            trans,
+        )
+    }
+
+    /// Runs the automaton on a word and reports acceptance.
+    pub fn accepts(&self, word: &[usize]) -> bool {
+        let mut current = self.initial.clone();
+        for &a in word {
+            let mut next = BTreeSet::new();
+            for &s in &current {
+                next.extend(self.trans[s][a].iter().copied());
+            }
+            current = next;
+        }
+        current.iter().any(|&s| self.accepting[s])
+    }
+
+    /// Projects away `track`: the resulting automaton no longer constrains that track
+    /// (existential quantification over the track's value at every position). The track
+    /// count is preserved; the projected track simply becomes unconstrained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `track >= num_tracks`.
+    pub fn project(&self, track: usize) -> Nfa {
+        assert!(track < self.num_tracks, "track out of range");
+        let bit = 1usize << track;
+        let symbols = self.num_symbols();
+        let mut trans = vec![vec![BTreeSet::new(); symbols]; self.accepting.len()];
+        for (s, row) in self.trans.iter().enumerate() {
+            for (a, succ) in row.iter().enumerate() {
+                // The successor set on symbol `a` becomes reachable both with the bit
+                // cleared and with the bit set.
+                trans[s][a & !bit].extend(succ.iter().copied());
+                trans[s][a | bit].extend(succ.iter().copied());
+            }
+        }
+        Nfa::new(
+            self.num_tracks,
+            self.initial.clone(),
+            self.accepting.clone(),
+            trans,
+        )
+    }
+
+    /// Subset construction: an equivalent DFA.
+    pub fn determinize(&self) -> Dfa {
+        self.determinize_bounded(usize::MAX)
+            .expect("unbounded determinisation cannot exceed its limit")
+    }
+
+    /// Subset construction with a state budget: returns `None` if the determinised
+    /// automaton would have more than `max_states` states.
+    pub fn determinize_bounded(&self, max_states: usize) -> Option<Dfa> {
+        let symbols = self.num_symbols();
+        let mut index: BTreeMap<BTreeSet<State>, State> = BTreeMap::new();
+        let mut order: Vec<BTreeSet<State>> = Vec::new();
+        let mut queue = VecDeque::new();
+        index.insert(self.initial.clone(), 0);
+        order.push(self.initial.clone());
+        queue.push_back(self.initial.clone());
+        let mut trans: Vec<Vec<State>> = Vec::new();
+        while let Some(current) = queue.pop_front() {
+            let mut row = Vec::with_capacity(symbols);
+            for a in 0..symbols {
+                let mut next = BTreeSet::new();
+                for &s in &current {
+                    next.extend(self.trans[s][a].iter().copied());
+                }
+                let id = match index.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        let id = order.len();
+                        index.insert(next.clone(), id);
+                        order.push(next.clone());
+                        queue.push_back(next);
+                        id
+                    }
+                };
+                row.push(id);
+            }
+            if order.len() > max_states {
+                return None;
+            }
+            trans.push(row);
+        }
+        let accepting = order
+            .iter()
+            .map(|set| set.iter().any(|&s| self.accepting[s]))
+            .collect();
+        Some(Dfa::new(self.num_tracks, 0, accepting, trans))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two-track DFA accepting words where track 0 and track 1 carry equal bits at every
+    /// position (i.e. the sets they denote are equal).
+    fn tracks_equal() -> Dfa {
+        // Symbols: bit0 = track0, bit1 = track1. Equal iff symbol is 0b00 or 0b11.
+        Dfa::new(
+            2,
+            0,
+            vec![true, false],
+            vec![vec![0, 1, 1, 0], vec![1, 1, 1, 1]],
+        )
+    }
+
+    #[test]
+    fn from_dfa_preserves_language() {
+        let d = tracks_equal();
+        let n = Nfa::from_dfa(&d);
+        for word in [vec![], vec![0b00, 0b11], vec![0b01], vec![0b10, 0b00]] {
+            assert_eq!(d.accepts(&word), n.accepts(&word), "word {word:?}");
+        }
+    }
+
+    #[test]
+    fn determinize_inverts_from_dfa() {
+        let d = tracks_equal();
+        let back = Nfa::from_dfa(&d).determinize();
+        assert!(back.equivalent(&d));
+    }
+
+    #[test]
+    fn projection_makes_track_unconstrained() {
+        // Projecting track 1 out of "track0 = track1" leaves the full language over
+        // track 0 (for every choice of track 0 there is a matching track 1).
+        let d = tracks_equal();
+        let projected = Nfa::from_dfa(&d).project(1).determinize();
+        assert!(projected.accepts(&[0b00, 0b01]));
+        assert!(projected.accepts(&[0b01, 0b00]));
+        assert!(projected.equivalent(&Dfa::all(2)));
+    }
+
+    #[test]
+    fn projection_of_unsatisfiable_constraint_stays_empty() {
+        // "track0 differs from track1 at every position AND track0 equals track1 at every
+        // position" is empty for non-empty words; projection cannot create words.
+        let eq = tracks_equal();
+        let neq_everywhere = Dfa::new(
+            2,
+            0,
+            vec![true, false],
+            vec![vec![1, 0, 0, 1], vec![1, 1, 1, 1]],
+        );
+        let conj = eq.intersect(&neq_everywhere);
+        let projected = Nfa::from_dfa(&conj).project(0).determinize();
+        // Only the empty word survives.
+        assert!(projected.accepts(&[]));
+        assert!(!projected.accepts(&[0b00]));
+        assert!(!projected.accepts(&[0b01]));
+    }
+
+    #[test]
+    fn determinization_handles_genuine_nondeterminism() {
+        // NFA over 1 track accepting words whose last symbol is 1.
+        let mut trans = vec![vec![BTreeSet::new(); 2]; 2];
+        trans[0][0] = BTreeSet::from([0]);
+        trans[0][1] = BTreeSet::from([0, 1]);
+        let n = Nfa::new(1, BTreeSet::from([0]), vec![false, true], trans);
+        let d = n.determinize();
+        assert!(d.accepts(&[0, 1]));
+        assert!(!d.accepts(&[1, 0]));
+        assert!(!d.accepts(&[]));
+        assert_eq!(d.num_tracks(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "track out of range")]
+    fn projecting_missing_track_panics() {
+        let d = tracks_equal();
+        let _ = Nfa::from_dfa(&d).project(5);
+    }
+}

@@ -1,0 +1,49 @@
+//! Ablations called out in DESIGN.md: splitting on/off is implicit in the architecture
+//! (the dispatcher always receives split sequents), so the measurable ablations are the
+//! prover order and parallel dispatch (§5.2).
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use jahob::{suite, verify_task, VerifyOptions};
+use jahob_provers::ProverId;
+
+fn ablations(c: &mut Criterion) {
+    let program = suite::sized_list();
+    let tasks = jahob_frontend::program_tasks(&program);
+    let task = tasks
+        .iter()
+        .find(|t| t.qualified_name() == "List.addNew")
+        .expect("task");
+
+    c.bench_function("ablation/order_cheap_first", |b| {
+        b.iter(|| verify_task(task, &VerifyOptions::default()))
+    });
+    let mut expensive_first = VerifyOptions::default();
+    expensive_first.dispatcher.order = vec![
+        ProverId::Fol,
+        ProverId::Bapa,
+        ProverId::Mona,
+        ProverId::Smt,
+        ProverId::Syntactic,
+        ProverId::Interactive,
+    ];
+    c.bench_function("ablation/order_expensive_first", |b| {
+        b.iter(|| verify_task(task, &expensive_first))
+    });
+    let mut parallel = VerifyOptions::default();
+    parallel.dispatcher.threads = 4;
+    c.bench_function("ablation/parallel_dispatch", |b| {
+        b.iter(|| verify_task(task, &parallel))
+    });
+    let mut no_hints = VerifyOptions::default();
+    no_hints.dispatcher.use_hints = false;
+    c.bench_function("ablation/no_hint_filtering", |b| {
+        b.iter(|| verify_task(task, &no_hints))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    targets = ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 15: per-data-structure verification statistics (sequents proved per prover and
+//! verification times) for the whole suite of §7.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use jahob::{render_figure15, run_suite, suite, verify_program, VerifyOptions};
+
+fn fig15(c: &mut Criterion) {
+    // Per-structure timed benchmarks for three representative structures (a list, an
+    // array-backed structure and a tree), giving the relative cost ordering; the full
+    // per-structure table is emitted once below.
+    for entry in suite::full_suite() {
+        if !matches!(entry.name, "Singly-Linked List" | "Array List" | "Binary Search Tree") {
+            continue;
+        }
+        let id = format!("fig15/{}", entry.name.replace(' ', "_"));
+        c.bench_function(&id, |b| {
+            b.iter(|| verify_program(&entry.program, &VerifyOptions::default()))
+        });
+    }
+    // Emit the full Figure 15-style table once.
+    let rows = run_suite(&VerifyOptions::default());
+    println!("{}", render_figure15(&rows));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    targets = fig15
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 7: verification of the sized list `addNew` method, which needs the combination
+//! of the syntactic prover, the SMT/FOL provers and the BAPA decision procedure.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use jahob::{suite, verify_program, VerifyOptions};
+
+fn fig7(c: &mut Criterion) {
+    let program = suite::sized_list();
+    c.bench_function("fig7_sized_list_addNew", |b| {
+        b.iter(|| verify_program(&program, &VerifyOptions::default()))
+    });
+    // Print the Figure 7-style report once so the bench output can be compared with the
+    // paper's console transcript.
+    let results = verify_program(&program, &VerifyOptions::default());
+    for r in results {
+        println!("{}", r.render());
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    targets = fig7
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Microbenchmarks of the individual reasoners on representative sequents (supports the
+//! §5.2 discussion of why cheap provers run first).
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use jahob_logic::{parse_form, Sequent};
+
+fn sequent(assumptions: &[&str], goal: &str) -> Sequent {
+    Sequent::new(
+        assumptions.iter().map(|a| parse_form(a).unwrap()).collect(),
+        parse_form(goal).unwrap(),
+    )
+}
+
+fn provers(c: &mut Criterion) {
+    let trivial = sequent(&["x ~= null", "p & q"], "x ~= null");
+    let arith = sequent(&["size = old_size + 1", "0 <= old_size"], "1 <= size");
+    let card = sequent(
+        &["size = card content", "x ~: content", "content1 = content Un {x}"],
+        "size + 1 = card content1",
+    );
+    let monadic = sequent(&["ALL x. x : nodes --> x : alloc", "n : nodes"], "n : alloc");
+    let quantified = sequent(
+        &["ALL x. x : Node & x ~= null --> x..next : Node", "n : Node", "n ~= null"],
+        "n..next : Node",
+    );
+
+    c.bench_function("prover/syntactic", |b| {
+        b.iter(|| jahob_provers::syntactic_prover(&trivial))
+    });
+    c.bench_function("prover/smt_arith", |b| {
+        b.iter(|| jahob_smt::prove_sequent(&arith, &jahob_smt::SmtOptions::default()))
+    });
+    c.bench_function("prover/bapa_card", |b| {
+        b.iter(|| jahob_bapa::prove_sequent(&card, &jahob_bapa::BapaOptions::default()))
+    });
+    c.bench_function("prover/mona_monadic", |b| {
+        b.iter(|| jahob_mona::prove_sequent(&monadic, &jahob_mona::MonaOptions::default()))
+    });
+    c.bench_function("prover/fol_quantified", |b| {
+        b.iter(|| jahob_folp::prove_sequent(&quantified, &jahob_folp::FolOptions::default()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    targets = provers
+}
+criterion_main!(benches);

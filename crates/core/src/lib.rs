@@ -1,0 +1,247 @@
+//! # jahob
+//!
+//! The top-level driver of the Jahob reproduction (*Full Functional Verification of
+//! Linked Data Structures*, Zee–Kuncak–Rinard, PLDI 2008): it ties together the frontend
+//! (`jahob-frontend`), the verification-condition generator (`jahob-vcgen`) and the
+//! integrated reasoning system (`jahob-provers`), and ships the verified data structure
+//! suite of §7 ([`suite`]).
+//!
+//! # Example
+//!
+//! ```
+//! use jahob::{verify_program, VerifyOptions};
+//!
+//! // Verify the sized list of Figure 6 (the Figure 7 scenario).
+//! let program = jahob::suite::sized_list();
+//! let results = verify_program(&program, &VerifyOptions::default());
+//! let add = results.iter().find(|r| r.method == "List.addNew").expect("addNew verified");
+//! assert!(add.report.proved_sequents > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod suite;
+
+use jahob_frontend::{program_tasks, MethodTask, Program};
+use jahob_provers::{Dispatcher, LemmaLibrary, ProverContext, ProverId, VerificationReport};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+pub use jahob_provers::{DispatcherConfig, ProverStats};
+
+/// Options for a verification run.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyOptions {
+    /// Dispatcher configuration (prover order, threads, hint usage).
+    pub dispatcher: DispatcherConfig,
+    /// Interactively proven lemmas to load (§6.6).
+    pub lemmas: LemmaLibrary,
+}
+
+/// The verification result of one method.
+#[derive(Debug, Clone)]
+pub struct MethodResult {
+    /// `Class.method`.
+    pub method: String,
+    /// The per-prover report.
+    pub report: VerificationReport,
+}
+
+impl MethodResult {
+    /// `true` if every sequent of the method was proved.
+    pub fn verified(&self) -> bool {
+        self.report.succeeded()
+    }
+
+    /// Renders the method result in the style of Figure 7.
+    pub fn render(&self) -> String {
+        self.report.render(&self.method)
+    }
+}
+
+/// Verifies one method task.
+pub fn verify_task(task: &MethodTask, options: &VerifyOptions) -> MethodResult {
+    let dispatcher = Dispatcher {
+        config: options.dispatcher.clone(),
+    };
+    let context = ProverContext {
+        set_vars: task.set_vars(),
+        fun_vars: task.fun_vars(),
+        lemmas: options.lemmas.clone(),
+    };
+    let obligations = task.obligations();
+    let report = dispatcher.prove_all(&obligations, &context);
+    MethodResult {
+        method: task.qualified_name(),
+        report,
+    }
+}
+
+/// Verifies every method of a program.
+pub fn verify_program(program: &Program, options: &VerifyOptions) -> Vec<MethodResult> {
+    program_tasks(program)
+        .iter()
+        .map(|t| verify_task(t, options))
+        .collect()
+}
+
+/// One row of the Figure 15 table: per-prover sequent counts and times for a whole data
+/// structure (all verified methods aggregated).
+#[derive(Debug, Clone)]
+pub struct SuiteRow {
+    /// The data structure name.
+    pub name: String,
+    /// Aggregated per-prover statistics.
+    pub per_prover: BTreeMap<ProverId, ProverStats>,
+    /// Total number of sequents.
+    pub total_sequents: usize,
+    /// Number of proved sequents.
+    pub proved_sequents: usize,
+    /// Total verification time.
+    pub total_time: Duration,
+}
+
+/// Runs the whole suite of §7 and returns one row per data structure (Figure 15).
+pub fn run_suite(options: &VerifyOptions) -> Vec<SuiteRow> {
+    suite::full_suite()
+        .iter()
+        .map(|entry| {
+            let results = verify_program(&entry.program, options);
+            let mut row = SuiteRow {
+                name: entry.name.to_string(),
+                per_prover: BTreeMap::new(),
+                total_sequents: 0,
+                proved_sequents: 0,
+                total_time: Duration::ZERO,
+            };
+            for r in results {
+                for (id, s) in &r.report.per_prover {
+                    let e = row.per_prover.entry(*id).or_default();
+                    e.proved += s.proved;
+                    e.attempted += s.attempted;
+                    e.time += s.time;
+                }
+                row.total_sequents += r.report.total_sequents;
+                row.proved_sequents += r.report.proved_sequents;
+                row.total_time += r.report.total_time;
+            }
+            row
+        })
+        .collect()
+}
+
+/// Renders suite rows as a Figure 15-style table.
+pub fn render_figure15(rows: &[SuiteRow]) -> String {
+    let provers = [
+        ProverId::Syntactic,
+        ProverId::Mona,
+        ProverId::Smt,
+        ProverId::Fol,
+        ProverId::Bapa,
+        ProverId::Interactive,
+    ];
+    let mut out = String::new();
+    out.push_str(&format!("{:<24}", "Data Structure"));
+    for p in provers {
+        out.push_str(&format!("{:>16}", p.display_name()));
+    }
+    out.push_str(&format!("{:>10}{:>10}{:>12}\n", "Proved", "Total", "Time"));
+    for row in rows {
+        out.push_str(&format!("{:<24}", row.name));
+        for p in provers {
+            match row.per_prover.get(&p) {
+                Some(s) if s.proved > 0 => {
+                    out.push_str(&format!("{:>10} ({:.1}s)", s.proved, s.time.as_secs_f64()));
+                }
+                _ => out.push_str(&format!("{:>16}", "")),
+            }
+        }
+        out.push_str(&format!(
+            "{:>10}{:>10}{:>11.1}s\n",
+            row.proved_sequents,
+            row.total_sequents,
+            row.total_time.as_secs_f64()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sized_list_add_combines_multiple_provers() {
+        // The Figure 7 scenario: verifying List.addNew requires the syntactic prover plus
+        // specialised reasoners (cardinality via BAPA, ground reasoning via SMT).
+        let program = suite::sized_list();
+        let results = verify_program(&program, &VerifyOptions::default());
+        let add = results
+            .iter()
+            .find(|r| r.method == "List.addNew")
+            .expect("addNew task exists");
+        assert!(add.report.total_sequents >= 5);
+        // Several sequents are discharged automatically by different reasoners; the
+        // exact proved/total ratio depends on the resource budgets of the provers and is
+        // recorded in EXPERIMENTS.md.
+        assert!(add.report.proved_sequents >= 2);
+        let used: Vec<ProverId> = add
+            .report
+            .per_prover
+            .iter()
+            .filter(|(_, s)| s.proved > 0)
+            .map(|(id, _)| *id)
+            .collect();
+        assert!(used.len() >= 2, "expected multiple provers, got {used:?}");
+        let text = add.render();
+        assert!(text.contains("sequents"));
+    }
+
+    #[test]
+    fn singly_linked_list_is_mostly_automated() {
+        // The paper discharges the residue of hard sequents interactively (§6.6); this
+        // reproduction ships no proof scripts, so the assertion is that the integrated
+        // reasoner automates the bulk of the obligations. EXPERIMENTS.md records the
+        // exact proved/total ratios.
+        let program = suite::singly_linked_list();
+        let results = verify_program(&program, &VerifyOptions::default());
+        let total: usize = results.iter().map(|r| r.report.total_sequents).sum();
+        let proved: usize = results.iter().map(|r| r.report.proved_sequents).sum();
+        assert!(total >= 4);
+        assert!(
+            proved * 3 >= total * 2,
+            "automation below 2/3: {proved}/{total}\n{}",
+            results.iter().map(|r| r.render()).collect::<Vec<_>>().join("\n")
+        );
+    }
+
+    #[test]
+    fn figure15_table_renders_all_rows() {
+        // Use a subset-friendly rendering test on two structures to keep the unit test
+        // fast; the full table is produced by the bench harness and examples.
+        let options = VerifyOptions::default();
+        let rows: Vec<SuiteRow> = suite::full_suite()
+            .iter()
+            .take(2)
+            .map(|entry| {
+                let results = verify_program(&entry.program, &options);
+                let mut row = SuiteRow {
+                    name: entry.name.to_string(),
+                    per_prover: BTreeMap::new(),
+                    total_sequents: 0,
+                    proved_sequents: 0,
+                    total_time: Duration::ZERO,
+                };
+                for r in results {
+                    row.total_sequents += r.report.total_sequents;
+                    row.proved_sequents += r.report.proved_sequents;
+                }
+                row
+            })
+            .collect();
+        let table = render_figure15(&rows);
+        assert!(table.contains("Association List"));
+        assert!(table.contains("Data Structure"));
+    }
+}

@@ -1,0 +1,1010 @@
+//! The verified data structure suite (§7 of the paper).
+//!
+//! Each function returns the annotated program for one of the data structures listed in
+//! §7: the concrete Java-subset implementation, the abstract state (ghost or defined
+//! specification variables), class invariants, and method contracts. The specification
+//! formulas follow the paper's examples (Figures 2–6) in the ASCII syntax of
+//! `jahob-logic`.
+//!
+//! Method coverage is reduced with respect to the paper (typically the insertion /
+//! lookup operations that the paper's examples discuss); EXPERIMENTS.md records the
+//! exact coverage and the automation level achieved per structure.
+
+use jahob_frontend::{ClassDef, Expr, JavaType, Lvalue, MethodBuilder, Program, Stmt};
+use jahob_logic::parse_form;
+
+fn obj() -> JavaType {
+    JavaType::Ref("Object".into())
+}
+
+fn ghost(form: &str) -> jahob_logic::Form {
+    parse_form(form).expect("specification formula")
+}
+
+/// The sized list of Figure 6: a global singly linked list with `nodes`, `content` and a
+/// cardinality invariant tying `size` to `content`.
+pub fn sized_list() -> Program {
+    let list = ClassDef::new("List")
+        .field("next", JavaType::Ref("List".into()))
+        .field("data", obj())
+        .static_field("root", JavaType::Ref("List".into()))
+        .static_field("size", JavaType::Int)
+        .ghost_var("nodes", "obj set", false)
+        .ghost_var("content", "obj set", true)
+        .invariant("sizeInv", "size = card content")
+        .invariant("rootNodes", "root = null | root : nodes")
+        .method(
+            MethodBuilder::public("addNew")
+                .static_method()
+                .param("x", obj())
+                .requires("comment ''xFresh'' (x ~: content) & x ~= null")
+                .modifies(&["content"])
+                .ensures("content = old content Un {x}")
+                .body(vec![
+                    Stmt::Local {
+                        name: "n1".into(),
+                        ty: JavaType::Ref("List".into()),
+                        init: None,
+                    },
+                    Stmt::New {
+                        target: Lvalue::Local("n1".into()),
+                        class: "List".into(),
+                    },
+                    Stmt::Assign(
+                        Lvalue::Field(Expr::local("n1"), "next".into()),
+                        Expr::Static("root".into()),
+                    ),
+                    Stmt::Assign(Lvalue::Field(Expr::local("n1"), "data".into()), Expr::local("x")),
+                    Stmt::Assign(Lvalue::Static("root".into()), Expr::local("n1")),
+                    Stmt::Assign(
+                        Lvalue::Static("size".into()),
+                        Expr::Plus(Box::new(Expr::Static("size".into())), Box::new(Expr::IntLit(1))),
+                    ),
+                    Stmt::GhostAssign {
+                        target: "nodes".into(),
+                        receiver: None,
+                        value: ghost("{n1} Un nodes"),
+                    },
+                    Stmt::GhostAssign {
+                        target: "content".into(),
+                        receiver: None,
+                        value: ghost("{x} Un content"),
+                    },
+                    Stmt::SpecNote {
+                        label: Some("sizeStep".into()),
+                        form: ghost("size = old size + 1 & content = old content Un {x}"),
+                        hints: vec![],
+                    },
+                ])
+                .build(),
+        )
+        .method(
+            MethodBuilder::public("isEmpty")
+                .static_method()
+                .returns(JavaType::Bool)
+                .ensures("(result = True) = (card content = 0)")
+                .body(vec![Stmt::Return(Some(Expr::Eq(
+                    Box::new(Expr::Static("size".into())),
+                    Box::new(Expr::IntLit(0)),
+                )))])
+                .build(),
+        );
+    Program::new(vec![list])
+}
+
+/// The association list of Figure 2: a list of key/value pairs with a relational
+/// abstract state `content :: (obj * obj) set`.
+pub fn assoc_list() -> Program {
+    let node = ClassDef::new("Node")
+        .field("key", obj())
+        .field("value", obj())
+        .field("next", JavaType::Ref("Node".into()));
+    let assoc = ClassDef::new("AssocList")
+        .static_field("first", JavaType::Ref("Node".into()))
+        .ghost_var("content", "(obj * obj) set", true)
+        .ghost_var("nodes", "obj set", false)
+        .invariant("firstNodes", "first = null | first : nodes")
+        .method(
+            MethodBuilder::public("put")
+                .static_method()
+                .param("k0", obj())
+                .param("v0", obj())
+                .requires("k0 ~= null & v0 ~= null & ~(EX v. (k0, v) : content)")
+                .modifies(&["content"])
+                .ensures("content = old content Un {(k0, v0)}")
+                .body(vec![
+                    Stmt::Local {
+                        name: "n".into(),
+                        ty: JavaType::Ref("Node".into()),
+                        init: None,
+                    },
+                    Stmt::New {
+                        target: Lvalue::Local("n".into()),
+                        class: "Node".into(),
+                    },
+                    Stmt::Assign(Lvalue::Field(Expr::local("n"), "key".into()), Expr::local("k0")),
+                    Stmt::Assign(Lvalue::Field(Expr::local("n"), "value".into()), Expr::local("v0")),
+                    Stmt::Assign(
+                        Lvalue::Field(Expr::local("n"), "next".into()),
+                        Expr::Static("first".into()),
+                    ),
+                    Stmt::Assign(Lvalue::Static("first".into()), Expr::local("n")),
+                    Stmt::GhostAssign {
+                        target: "nodes".into(),
+                        receiver: None,
+                        value: ghost("{n} Un nodes"),
+                    },
+                    Stmt::GhostAssign {
+                        target: "content".into(),
+                        receiver: None,
+                        value: ghost("content Un {(k0, v0)}"),
+                    },
+                ])
+                .build(),
+        )
+        .method(
+            MethodBuilder::public("isEmpty")
+                .static_method()
+                .returns(JavaType::Bool)
+                .requires("first = null --> content = {}")
+                .ensures("result = True --> content = {}")
+                .body(vec![Stmt::Return(Some(Expr::is_null(Expr::Static("first".into()))))])
+                .build(),
+        )
+        .method(
+            MethodBuilder::public("removeAll")
+                .static_method()
+                .modifies(&["content"])
+                .ensures("content = {}")
+                .body(vec![
+                    Stmt::Assign(Lvalue::Static("first".into()), Expr::Null),
+                    Stmt::GhostAssign {
+                        target: "nodes".into(),
+                        receiver: None,
+                        value: ghost("{}"),
+                    },
+                    Stmt::GhostAssign {
+                        target: "content".into(),
+                        receiver: None,
+                        value: ghost("{}"),
+                    },
+                ])
+                .build(),
+        );
+    Program::new(vec![node, assoc])
+}
+
+/// A null-terminated singly-linked list implementing a set interface (§7).
+pub fn singly_linked_list() -> Program {
+    let node = ClassDef::new("SllNode")
+        .field("data", obj())
+        .field("next", JavaType::Ref("SllNode".into()));
+    let list = ClassDef::new("SinglyLinkedList")
+        .static_field("first", JavaType::Ref("SllNode".into()))
+        .ghost_var("content", "obj set", true)
+        .ghost_var("nodes", "obj set", false)
+        .invariant("firstNull", "first = null --> nodes = {}")
+        .method(
+            MethodBuilder::public("add")
+                .static_method()
+                .param("x", obj())
+                .requires("x ~= null & x ~: content")
+                .modifies(&["content"])
+                .ensures("content = old content Un {x}")
+                .body(vec![
+                    Stmt::Local {
+                        name: "n".into(),
+                        ty: JavaType::Ref("SllNode".into()),
+                        init: None,
+                    },
+                    Stmt::New {
+                        target: Lvalue::Local("n".into()),
+                        class: "SllNode".into(),
+                    },
+                    Stmt::Assign(Lvalue::Field(Expr::local("n"), "data".into()), Expr::local("x")),
+                    Stmt::Assign(
+                        Lvalue::Field(Expr::local("n"), "next".into()),
+                        Expr::Static("first".into()),
+                    ),
+                    Stmt::Assign(Lvalue::Static("first".into()), Expr::local("n")),
+                    Stmt::GhostAssign {
+                        target: "nodes".into(),
+                        receiver: None,
+                        value: ghost("{n} Un nodes"),
+                    },
+                    Stmt::GhostAssign {
+                        target: "content".into(),
+                        receiver: None,
+                        value: ghost("content Un {x}"),
+                    },
+                ])
+                .build(),
+        )
+        .method(
+            MethodBuilder::public("clear")
+                .static_method()
+                .modifies(&["content"])
+                .ensures("content = {}")
+                .body(vec![
+                    Stmt::Assign(Lvalue::Static("first".into()), Expr::Null),
+                    Stmt::GhostAssign {
+                        target: "nodes".into(),
+                        receiver: None,
+                        value: ghost("{}"),
+                    },
+                    Stmt::GhostAssign {
+                        target: "content".into(),
+                        receiver: None,
+                        value: ghost("{}"),
+                    },
+                ])
+                .build(),
+        )
+        .method(
+            MethodBuilder::public("addTwo")
+                .static_method()
+                .param("x", obj())
+                .param("y", obj())
+                .requires("x ~= null & y ~= null & x ~= y & x ~: content & y ~: content")
+                .modifies(&["content"])
+                .ensures("content = old content Un {x} Un {y}")
+                .body(vec![
+                    Stmt::Local {
+                        name: "n".into(),
+                        ty: JavaType::Ref("SllNode".into()),
+                        init: None,
+                    },
+                    Stmt::New {
+                        target: Lvalue::Local("n".into()),
+                        class: "SllNode".into(),
+                    },
+                    Stmt::Assign(Lvalue::Field(Expr::local("n"), "data".into()), Expr::local("x")),
+                    Stmt::Assign(
+                        Lvalue::Field(Expr::local("n"), "next".into()),
+                        Expr::Static("first".into()),
+                    ),
+                    Stmt::Assign(Lvalue::Static("first".into()), Expr::local("n")),
+                    Stmt::GhostAssign {
+                        target: "nodes".into(),
+                        receiver: None,
+                        value: ghost("{n} Un nodes"),
+                    },
+                    Stmt::GhostAssign {
+                        target: "content".into(),
+                        receiver: None,
+                        value: ghost("content Un {x}"),
+                    },
+                    Stmt::Local {
+                        name: "m".into(),
+                        ty: JavaType::Ref("SllNode".into()),
+                        init: None,
+                    },
+                    Stmt::New {
+                        target: Lvalue::Local("m".into()),
+                        class: "SllNode".into(),
+                    },
+                    Stmt::Assign(Lvalue::Field(Expr::local("m"), "data".into()), Expr::local("y")),
+                    Stmt::Assign(
+                        Lvalue::Field(Expr::local("m"), "next".into()),
+                        Expr::Static("first".into()),
+                    ),
+                    Stmt::Assign(Lvalue::Static("first".into()), Expr::local("m")),
+                    Stmt::GhostAssign {
+                        target: "nodes".into(),
+                        receiver: None,
+                        value: ghost("{m} Un nodes"),
+                    },
+                    Stmt::GhostAssign {
+                        target: "content".into(),
+                        receiver: None,
+                        value: ghost("content Un {y}"),
+                    },
+                ])
+                .build(),
+        );
+    Program::new(vec![node, list])
+}
+
+/// A circular doubly-linked list implementing a set interface (§7).
+pub fn circular_list() -> Program {
+    let node = ClassDef::new("DllNode")
+        .field("data", obj())
+        .field("next", JavaType::Ref("DllNode".into()))
+        .field("prev", JavaType::Ref("DllNode".into()));
+    let list = ClassDef::new("CircularList")
+        .static_field("head", JavaType::Ref("DllNode".into()))
+        .ghost_var("content", "obj set", true)
+        .ghost_var("nodes", "obj set", false)
+        .invariant("headNodes", "head = null | head : nodes")
+        .method(
+            MethodBuilder::public("addFirst")
+                .static_method()
+                .param("x", obj())
+                .requires("x ~= null & x ~: content & head ~= null & head : nodes")
+                .modifies(&["content"])
+                .ensures("content = old content Un {x}")
+                .body(vec![
+                    Stmt::Local {
+                        name: "n".into(),
+                        ty: JavaType::Ref("DllNode".into()),
+                        init: None,
+                    },
+                    Stmt::New {
+                        target: Lvalue::Local("n".into()),
+                        class: "DllNode".into(),
+                    },
+                    Stmt::Assign(Lvalue::Field(Expr::local("n"), "data".into()), Expr::local("x")),
+                    Stmt::Assign(
+                        Lvalue::Field(Expr::local("n"), "next".into()),
+                        Expr::Static("head".into()),
+                    ),
+                    Stmt::Assign(
+                        Lvalue::Field(Expr::local("n"), "prev".into()),
+                        Expr::field(Expr::Static("head".into()), "prev"),
+                    ),
+                    Stmt::Assign(
+                        Lvalue::Field(Expr::Static("head".into()), "prev".into()),
+                        Expr::local("n"),
+                    ),
+                    Stmt::Assign(Lvalue::Static("head".into()), Expr::local("n")),
+                    Stmt::GhostAssign {
+                        target: "nodes".into(),
+                        receiver: None,
+                        value: ghost("{n} Un nodes"),
+                    },
+                    Stmt::GhostAssign {
+                        target: "content".into(),
+                        receiver: None,
+                        value: ghost("content Un {x}"),
+                    },
+                ])
+                .build(),
+        )
+        .method(
+            MethodBuilder::public("removeAll")
+                .static_method()
+                .modifies(&["content"])
+                .ensures("content = {}")
+                .body(vec![
+                    Stmt::Assign(Lvalue::Static("head".into()), Expr::Null),
+                    Stmt::GhostAssign {
+                        target: "nodes".into(),
+                        receiver: None,
+                        value: ghost("{}"),
+                    },
+                    Stmt::GhostAssign {
+                        target: "content".into(),
+                        receiver: None,
+                        value: ghost("{}"),
+                    },
+                ])
+                .build(),
+        );
+    Program::new(vec![node, list])
+}
+
+/// A list with a cursor for iteration (§7), modelled by a `content` set and an
+/// `iterated` set recording the elements already returned.
+pub fn cursor_list() -> Program {
+    let node = ClassDef::new("CurNode")
+        .field("data", obj())
+        .field("next", JavaType::Ref("CurNode".into()));
+    let list = ClassDef::new("CursorList")
+        .static_field("first", JavaType::Ref("CurNode".into()))
+        .static_field("cursor", JavaType::Ref("CurNode".into()))
+        .ghost_var("content", "obj set", true)
+        .ghost_var("toVisit", "obj set", true)
+        .invariant("toVisitContent", "toVisit subseteq content")
+        .method(
+            MethodBuilder::public("reset")
+                .static_method()
+                .modifies(&["toVisit"])
+                .ensures("toVisit = content")
+                .body(vec![
+                    Stmt::Assign(Lvalue::Static("cursor".into()), Expr::Static("first".into())),
+                    Stmt::GhostAssign {
+                        target: "toVisit".into(),
+                        receiver: None,
+                        value: ghost("content"),
+                    },
+                ])
+                .build(),
+        )
+        .method(
+            MethodBuilder::public("advance")
+                .static_method()
+                .param("x", obj())
+                .requires("cursor ~= null & x : toVisit")
+                .modifies(&["toVisit"])
+                .ensures("toVisit = old toVisit - {x} & toVisit subseteq content")
+                .body(vec![
+                    Stmt::Assign(
+                        Lvalue::Static("cursor".into()),
+                        Expr::field(Expr::Static("cursor".into()), "next"),
+                    ),
+                    Stmt::GhostAssign {
+                        target: "toVisit".into(),
+                        receiver: None,
+                        value: ghost("toVisit - {x}"),
+                    },
+                ])
+                .build(),
+        );
+    Program::new(vec![node, list])
+}
+
+/// An array-backed list implementing a map from a dense range of integers to objects
+/// (modelled after `java.util.ArrayList`, §7).
+pub fn array_list() -> Program {
+    let list = ClassDef::new("ArrayList")
+        .static_field("elems", JavaType::ObjArray)
+        .static_field("count", JavaType::Int)
+        .ghost_var("content", "(int * obj) set", true)
+        .invariant("countNonNeg", "0 <= count")
+        .invariant("elemsNotNull", "elems ~= null")
+        .invariant("countBound", "count <= Array.length elems")
+        .method(
+            MethodBuilder::public("add")
+                .static_method()
+                .param("v", obj())
+                .requires("v ~= null & count < Array.length elems")
+                .modifies(&["content"])
+                .ensures("content = old content Un {(old count, v)} & count = old count + 1")
+                .body(vec![
+                    Stmt::Assign(
+                        Lvalue::ArrayElem(Expr::Static("elems".into()), Expr::Static("count".into())),
+                        Expr::local("v"),
+                    ),
+                    Stmt::GhostAssign {
+                        target: "content".into(),
+                        receiver: None,
+                        value: ghost("content Un {(count, v)}"),
+                    },
+                    Stmt::Assign(
+                        Lvalue::Static("count".into()),
+                        Expr::Plus(Box::new(Expr::Static("count".into())), Box::new(Expr::IntLit(1))),
+                    ),
+                ])
+                .build(),
+        )
+        .method(
+            MethodBuilder::public("size")
+                .static_method()
+                .returns(JavaType::Int)
+                .ensures("result = count")
+                .body(vec![Stmt::Return(Some(Expr::Static("count".into())))])
+                .build(),
+        )
+        .method(
+            // A loop whose invariant carries the bounds knowledge across iterations
+            // (§3.5): repeatedly drop the last element until only `n` remain.
+            MethodBuilder::public("truncate")
+                .static_method()
+                .param("n", JavaType::Int)
+                .requires("0 <= n & n <= count")
+                .modifies(&["content"])
+                .ensures("count = n")
+                .body(vec![
+                    Stmt::While {
+                        invariant: ghost("n <= count & count <= Array.length elems"),
+                        cond: Expr::Lt(Box::new(Expr::local("n")), Box::new(Expr::Static("count".into()))),
+                        body: vec![Stmt::Assign(
+                            Lvalue::Static("count".into()),
+                            Expr::Minus(Box::new(Expr::Static("count".into())), Box::new(Expr::IntLit(1))),
+                        )],
+                    },
+                    Stmt::GhostAssign {
+                        target: "content".into(),
+                        receiver: None,
+                        value: ghost("{p. p : content & (EX i v. p = (i, v) & i < n)}"),
+                    },
+                ])
+                .build(),
+        )
+        .method(
+            MethodBuilder::public("clear")
+                .static_method()
+                .modifies(&["content"])
+                .ensures("content = {} & count = 0")
+                .body(vec![
+                    Stmt::Assign(Lvalue::Static("count".into()), Expr::IntLit(0)),
+                    Stmt::GhostAssign {
+                        target: "content".into(),
+                        receiver: None,
+                        value: ghost("{}"),
+                    },
+                ])
+                .build(),
+        );
+    Program::new(vec![list])
+}
+
+/// A hash table mapping objects to objects, implemented as an array of bucket lists (§7).
+/// The bucket selection arithmetic is exercised; the abstract map is a ghost relation.
+pub fn hash_table() -> Program {
+    let node = ClassDef::new("HashNode")
+        .field("key", obj())
+        .field("value", obj())
+        .field("next", JavaType::Ref("HashNode".into()));
+    let table = ClassDef::new("HashTable")
+        .static_field("buckets", JavaType::ObjArray)
+        .static_field("used", JavaType::Int)
+        .ghost_var("content", "(obj * obj) set", true)
+        .invariant("bucketsNotNull", "buckets ~= null")
+        .invariant("usedNonNeg", "0 <= used")
+        .method(
+            MethodBuilder::public("putFresh")
+                .static_method()
+                .param("k0", obj())
+                .param("v0", obj())
+                .param("h", JavaType::Int)
+                .requires(
+                    "k0 ~= null & v0 ~= null & ~(EX v. (k0, v) : content) & \
+                     0 <= h & h < Array.length buckets",
+                )
+                .modifies(&["content"])
+                .ensures("content = old content Un {(k0, v0)}")
+                .body(vec![
+                    Stmt::Local {
+                        name: "n".into(),
+                        ty: JavaType::Ref("HashNode".into()),
+                        init: None,
+                    },
+                    Stmt::New {
+                        target: Lvalue::Local("n".into()),
+                        class: "HashNode".into(),
+                    },
+                    Stmt::Assign(Lvalue::Field(Expr::local("n"), "key".into()), Expr::local("k0")),
+                    Stmt::Assign(Lvalue::Field(Expr::local("n"), "value".into()), Expr::local("v0")),
+                    Stmt::Assign(
+                        Lvalue::Field(Expr::local("n"), "next".into()),
+                        Expr::ArrayElem(
+                            Box::new(Expr::Static("buckets".into())),
+                            Box::new(Expr::local("h")),
+                        ),
+                    ),
+                    Stmt::Assign(
+                        Lvalue::ArrayElem(Expr::Static("buckets".into()), Expr::local("h")),
+                        Expr::local("n"),
+                    ),
+                    Stmt::Assign(
+                        Lvalue::Static("used".into()),
+                        Expr::Plus(Box::new(Expr::Static("used".into())), Box::new(Expr::IntLit(1))),
+                    ),
+                    Stmt::GhostAssign {
+                        target: "content".into(),
+                        receiver: None,
+                        value: ghost("content Un {(k0, v0)}"),
+                    },
+                ])
+                .build(),
+        )
+        .method(
+            // The bucket-selection arithmetic: hashing modulo a fixed table width. The
+            // bounds on the result exercise the division/remainder reasoning of the SMT
+            // interface.
+            MethodBuilder::public("bucketIndex")
+                .static_method()
+                .param("h", JavaType::Int)
+                .returns(JavaType::Int)
+                .requires("0 <= h")
+                .ensures("result = h mod 8 & 0 <= result & result < 8")
+                .body(vec![Stmt::Return(Some(Expr::Mod(
+                    Box::new(Expr::local("h")),
+                    Box::new(Expr::IntLit(8)),
+                )))])
+                .build(),
+        )
+        .method(
+            MethodBuilder::public("clear")
+                .static_method()
+                .modifies(&["content"])
+                .ensures("content = {} & used = 0")
+                .body(vec![
+                    Stmt::Assign(Lvalue::Static("used".into()), Expr::IntLit(0)),
+                    Stmt::GhostAssign {
+                        target: "content".into(),
+                        receiver: None,
+                        value: ghost("{}"),
+                    },
+                ])
+                .build(),
+        );
+    Program::new(vec![node, table])
+}
+
+/// A binary search tree implementing a set (§7). The verified method inserts a fresh
+/// element at the root position of an empty tree or grows the content set.
+pub fn binary_search_tree() -> Program {
+    let node = ClassDef::new("BstNode")
+        .field("data", obj())
+        .field("left", JavaType::Ref("BstNode".into()))
+        .field("right", JavaType::Ref("BstNode".into()));
+    let tree = ClassDef::new("BinarySearchTree")
+        .static_field("root", JavaType::Ref("BstNode".into()))
+        .ghost_var("content", "obj set", true)
+        .ghost_var("nodes", "obj set", false)
+        .invariant("rootNodes", "root = null | root : nodes")
+        .method(
+            MethodBuilder::public("insertRoot")
+                .static_method()
+                .param("x", obj())
+                .requires("x ~= null & x ~: content & root = null")
+                .modifies(&["content"])
+                .ensures("content = old content Un {x}")
+                .body(vec![
+                    Stmt::Local {
+                        name: "n".into(),
+                        ty: JavaType::Ref("BstNode".into()),
+                        init: None,
+                    },
+                    Stmt::New {
+                        target: Lvalue::Local("n".into()),
+                        class: "BstNode".into(),
+                    },
+                    Stmt::Assign(Lvalue::Field(Expr::local("n"), "data".into()), Expr::local("x")),
+                    Stmt::Assign(Lvalue::Static("root".into()), Expr::local("n")),
+                    Stmt::GhostAssign {
+                        target: "nodes".into(),
+                        receiver: None,
+                        value: ghost("{n} Un nodes"),
+                    },
+                    Stmt::GhostAssign {
+                        target: "content".into(),
+                        receiver: None,
+                        value: ghost("content Un {x}"),
+                    },
+                ])
+                .build(),
+        )
+        .method(
+            MethodBuilder::public("isEmpty")
+                .static_method()
+                .returns(JavaType::Bool)
+                .requires("root = null --> content = {}")
+                .ensures("result = True --> content = {}")
+                .body(vec![Stmt::Return(Some(Expr::is_null(Expr::Static("root".into()))))])
+                .build(),
+        )
+        .method(
+            // Growing the tree below an existing interior node: the shape bookkeeping is
+            // the `nodes` ghost set, the abstract effect is on `content`.
+            MethodBuilder::public("insertLeftChild")
+                .static_method()
+                .param("parent", JavaType::Ref("BstNode".into()))
+                .param("x", obj())
+                .requires("parent ~= null & parent : nodes & x ~= null & x ~: content")
+                .modifies(&["content"])
+                .ensures("content = old content Un {x}")
+                .body(vec![
+                    Stmt::Local {
+                        name: "n".into(),
+                        ty: JavaType::Ref("BstNode".into()),
+                        init: None,
+                    },
+                    Stmt::New {
+                        target: Lvalue::Local("n".into()),
+                        class: "BstNode".into(),
+                    },
+                    Stmt::Assign(Lvalue::Field(Expr::local("n"), "data".into()), Expr::local("x")),
+                    Stmt::Assign(
+                        Lvalue::Field(Expr::local("parent"), "left".into()),
+                        Expr::local("n"),
+                    ),
+                    Stmt::GhostAssign {
+                        target: "nodes".into(),
+                        receiver: None,
+                        value: ghost("{n} Un nodes"),
+                    },
+                    Stmt::GhostAssign {
+                        target: "content".into(),
+                        receiver: None,
+                        value: ghost("content Un {x}"),
+                    },
+                ])
+                .build(),
+        )
+        .method(
+            MethodBuilder::public("clear")
+                .static_method()
+                .modifies(&["content"])
+                .ensures("content = {}")
+                .body(vec![
+                    Stmt::Assign(Lvalue::Static("root".into()), Expr::Null),
+                    Stmt::GhostAssign {
+                        target: "nodes".into(),
+                        receiver: None,
+                        value: ghost("{}"),
+                    },
+                    Stmt::GhostAssign {
+                        target: "content".into(),
+                        receiver: None,
+                        value: ghost("{}"),
+                    },
+                ])
+                .build(),
+        );
+    Program::new(vec![node, tree])
+}
+
+/// A priority queue stored as a complete binary tree in a dense array (§7), with parent
+/// and child indices computed arithmetically. The verified method appends at the end.
+pub fn priority_queue() -> Program {
+    let queue = ClassDef::new("PriorityQueue")
+        .static_field("heap", JavaType::ObjArray)
+        .static_field("length", JavaType::Int)
+        .ghost_var("content", "obj set", true)
+        .invariant("lenNonNeg", "0 <= length")
+        .invariant("heapNotNull", "heap ~= null")
+        .invariant("lenBound", "length <= Array.length heap")
+        .method(
+            MethodBuilder::public("insertLast")
+                .static_method()
+                .param("x", obj())
+                .requires("x ~= null & x ~: content & length < Array.length heap")
+                .modifies(&["content"])
+                .ensures("content = old content Un {x} & length = old length + 1")
+                .body(vec![
+                    Stmt::Assign(
+                        Lvalue::ArrayElem(Expr::Static("heap".into()), Expr::Static("length".into())),
+                        Expr::local("x"),
+                    ),
+                    Stmt::Assign(
+                        Lvalue::Static("length".into()),
+                        Expr::Plus(Box::new(Expr::Static("length".into())), Box::new(Expr::IntLit(1))),
+                    ),
+                    Stmt::GhostAssign {
+                        target: "content".into(),
+                        receiver: None,
+                        value: ghost("content Un {x}"),
+                    },
+                ])
+                .build(),
+        )
+        .method(
+            MethodBuilder::public("parentIndex")
+                .static_method()
+                .param("i", JavaType::Int)
+                .returns(JavaType::Int)
+                .requires("1 <= i")
+                .ensures("result = (i - 1) div 2 & 0 <= result")
+                .body(vec![Stmt::Return(Some(Expr::Div(
+                    Box::new(Expr::Minus(Box::new(Expr::local("i")), Box::new(Expr::IntLit(1)))),
+                    Box::new(Expr::IntLit(2)),
+                )))])
+                .build(),
+        )
+        .method(
+            MethodBuilder::public("leftChildIndex")
+                .static_method()
+                .param("i", JavaType::Int)
+                .returns(JavaType::Int)
+                .requires("0 <= i")
+                .ensures("result = 2 * i + 1 & i < result")
+                .body(vec![Stmt::Return(Some(Expr::Plus(
+                    Box::new(Expr::Times(Box::new(Expr::IntLit(2)), Box::new(Expr::local("i")))),
+                    Box::new(Expr::IntLit(1)),
+                )))])
+                .build(),
+        )
+        .method(
+            MethodBuilder::public("clear")
+                .static_method()
+                .modifies(&["content"])
+                .ensures("content = {} & length = 0")
+                .body(vec![
+                    Stmt::Assign(Lvalue::Static("length".into()), Expr::IntLit(0)),
+                    Stmt::GhostAssign {
+                        target: "content".into(),
+                        receiver: None,
+                        value: ghost("{}"),
+                    },
+                ])
+                .build(),
+        );
+    Program::new(vec![queue])
+}
+
+/// A spanning tree of a graph (§7): adding an edge from a tree node to a fresh node keeps
+/// the vertex set growing and the fresh node reachable.
+pub fn spanning_tree() -> Program {
+    let vertex = ClassDef::new("Vertex")
+        .field("parent", JavaType::Ref("Vertex".into()));
+    let tree = ClassDef::new("SpanningTree")
+        .static_field("treeRoot", JavaType::Ref("Vertex".into()))
+        .ghost_var("vertices", "obj set", true)
+        .invariant("rootVertex", "treeRoot = null | treeRoot : vertices")
+        .method(
+            MethodBuilder::public("attach")
+                .static_method()
+                .param("v", JavaType::Ref("Vertex".into()))
+                .param("p", JavaType::Ref("Vertex".into()))
+                .requires("v ~= null & p ~= null & p : vertices & v ~: vertices")
+                .modifies(&["vertices"])
+                .ensures("vertices = old vertices Un {v} & p : vertices")
+                .body(vec![
+                    Stmt::Assign(Lvalue::Field(Expr::local("v"), "parent".into()), Expr::local("p")),
+                    Stmt::GhostAssign {
+                        target: "vertices".into(),
+                        receiver: None,
+                        value: ghost("vertices Un {v}"),
+                    },
+                ])
+                .build(),
+        )
+        .method(
+            MethodBuilder::public("initRoot")
+                .static_method()
+                .param("v", JavaType::Ref("Vertex".into()))
+                .requires("v ~= null & vertices = {}")
+                .modifies(&["vertices"])
+                .ensures("vertices = {v} & treeRoot = v")
+                .body(vec![
+                    Stmt::Assign(Lvalue::Static("treeRoot".into()), Expr::local("v")),
+                    Stmt::Assign(Lvalue::Field(Expr::local("v"), "parent".into()), Expr::Null),
+                    Stmt::GhostAssign {
+                        target: "vertices".into(),
+                        receiver: None,
+                        value: ghost("{v}"),
+                    },
+                ])
+                .build(),
+        );
+    Program::new(vec![vertex, tree])
+}
+
+/// A three-dimensional space subdivision tree (octree, §7): internal nodes keep their
+/// children in an eight-element array; inserting a point into a leaf cell records it in
+/// the abstract point set.
+pub fn space_subdivision_tree() -> Program {
+    let cell = ClassDef::new("Cell")
+        .field("children", JavaType::ObjArray)
+        .field("point", obj());
+    let tree = ClassDef::new("SpaceSubdivisionTree")
+        .static_field("top", JavaType::Ref("Cell".into()))
+        .ghost_var("points", "obj set", true)
+        .invariant("topCell", "top = null | top : Cell")
+        .method(
+            MethodBuilder::public("insertIntoLeaf")
+                .static_method()
+                .param("leaf", JavaType::Ref("Cell".into()))
+                .param("p", obj())
+                .requires("leaf ~= null & p ~= null & p ~: points")
+                .modifies(&["points"])
+                .ensures("points = old points Un {p}")
+                .body(vec![
+                    Stmt::Assign(Lvalue::Field(Expr::local("leaf"), "point".into()), Expr::local("p")),
+                    Stmt::GhostAssign {
+                        target: "points".into(),
+                        receiver: None,
+                        value: ghost("points Un {p}"),
+                    },
+                ])
+                .build(),
+        )
+        .method(
+            MethodBuilder::public("childSlot")
+                .static_method()
+                .param("octant", JavaType::Int)
+                .param("node", JavaType::Ref("Cell".into()))
+                .returns(obj())
+                .requires("node ~= null & node..children ~= null & \
+                           0 <= octant & octant < 8 & 8 <= Array.length (node..children)")
+                .ensures("True")
+                .body(vec![Stmt::Return(Some(Expr::ArrayElem(
+                    Box::new(Expr::field(Expr::local("node"), "children")),
+                    Box::new(Expr::local("octant")),
+                )))])
+                .build(),
+        );
+    Program::new(vec![cell, tree])
+}
+
+/// A named entry of the suite.
+#[derive(Debug, Clone)]
+pub struct SuiteEntry {
+    /// The data structure name as used in Figure 15.
+    pub name: &'static str,
+    /// The annotated program.
+    pub program: Program,
+}
+
+/// The full suite, in the order of Figure 15.
+pub fn full_suite() -> Vec<SuiteEntry> {
+    vec![
+        SuiteEntry {
+            name: "Association List",
+            program: assoc_list(),
+        },
+        SuiteEntry {
+            name: "Space Subdivision Tree",
+            program: space_subdivision_tree(),
+        },
+        SuiteEntry {
+            name: "Spanning Tree",
+            program: spanning_tree(),
+        },
+        SuiteEntry {
+            name: "Hash Table",
+            program: hash_table(),
+        },
+        SuiteEntry {
+            name: "Binary Search Tree",
+            program: binary_search_tree(),
+        },
+        SuiteEntry {
+            name: "Priority Queue",
+            program: priority_queue(),
+        },
+        SuiteEntry {
+            name: "Array List",
+            program: array_list(),
+        },
+        SuiteEntry {
+            name: "Circular List",
+            program: circular_list(),
+        },
+        SuiteEntry {
+            name: "Singly-Linked List",
+            program: singly_linked_list(),
+        },
+        SuiteEntry {
+            name: "Cursor List",
+            program: cursor_list(),
+        },
+        SuiteEntry {
+            name: "Sized List",
+            program: sized_list(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_contains_the_figure15_structures_plus_sized_list() {
+        let suite = full_suite();
+        assert_eq!(suite.len(), 11);
+        let names: Vec<&str> = suite.iter().map(|e| e.name).collect();
+        for expected in [
+            "Association List",
+            "Hash Table",
+            "Binary Search Tree",
+            "Priority Queue",
+            "Array List",
+            "Circular List",
+            "Singly-Linked List",
+            "Cursor List",
+            "Sized List",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn every_structure_has_at_least_one_contracted_method() {
+        for entry in full_suite() {
+            let methods: usize = entry.program.classes.iter().map(|c| c.methods.len()).sum();
+            assert!(methods >= 1, "{} has no methods", entry.name);
+        }
+    }
+
+    #[test]
+    fn all_specifications_parse_and_translate() {
+        for entry in full_suite() {
+            let tasks = jahob_frontend::program_tasks(&entry.program);
+            assert!(!tasks.is_empty(), "{} has no tasks", entry.name);
+            for task in tasks {
+                let obligations = task.obligations();
+                assert!(
+                    !obligations.is_empty(),
+                    "{}::{} produced no obligations",
+                    entry.name,
+                    task.qualified_name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! # jahob-folp
+//!
+//! A from-scratch first-order resolution prover playing the role of SPASS and E in the
+//! Jahob reproduction (§6.2 of *Full Functional Verification of Linked Data Structures*,
+//! PLDI 2008).
+//!
+//! The crate has three layers:
+//!
+//! * [`fol`] — first-order terms, literals, clauses, unification and matching;
+//! * [`translate`] — the Jahob-style translation from higher-order sequents to clauses
+//!   (set memberships become predicates, transitive closure becomes an axiomatised
+//!   reachability predicate, unsupported constructs are approximated away by polarity);
+//! * [`resolution`] — a given-clause saturation loop with binary resolution, factoring
+//!   and subsumption.
+//!
+//! The convenience function [`prove_sequent`] runs the full pipeline and reports whether
+//! the sequent was proved.
+//!
+//! # Example
+//!
+//! ```
+//! use jahob_folp::{prove_sequent, FolOptions};
+//! use jahob_logic::{parse_form, Sequent};
+//!
+//! let sequent = Sequent::new(
+//!     vec![parse_form("ALL x. x : Node --> x..next : Node").unwrap(),
+//!          parse_form("n : Node").unwrap()],
+//!     parse_form("n..next : Node").unwrap(),
+//! );
+//! assert!(prove_sequent(&sequent, &FolOptions::default()).proved);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fol;
+pub mod resolution;
+pub mod translate;
+
+pub use fol::{Atom, Clause, Literal, Term};
+pub use resolution::{saturate, ResolutionLimits, ResolutionOutcome, ResolutionStats};
+pub use translate::{sequent_to_clauses, TranslateOptions, TranslationOverflow};
+
+use jahob_logic::Sequent;
+
+/// Options for the end-to-end first-order prover.
+#[derive(Debug, Clone, Default)]
+pub struct FolOptions {
+    /// Translation options (set/field variable declarations, clause budget).
+    pub translate: TranslateOptions,
+    /// Saturation limits.
+    pub limits: ResolutionLimits,
+}
+
+impl FolOptions {
+    /// Options with the given known set-valued and function-valued variable names.
+    pub fn with_environment(
+        set_vars: impl IntoIterator<Item = String>,
+        fun_vars: impl IntoIterator<Item = String>,
+    ) -> Self {
+        let mut t = TranslateOptions::new();
+        t.set_vars.extend(set_vars);
+        t.fun_vars.extend(fun_vars);
+        FolOptions {
+            translate: t,
+            limits: ResolutionLimits::default(),
+        }
+    }
+}
+
+/// Result of an end-to-end proof attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FolResult {
+    /// `true` if the sequent was proved valid.
+    pub proved: bool,
+    /// The saturation outcome (or `None` if translation overflowed).
+    pub outcome: Option<ResolutionOutcome>,
+    /// Saturation statistics.
+    pub stats: ResolutionStats,
+}
+
+/// Translates a sequent to clauses and attempts to refute them.
+pub fn prove_sequent(sequent: &Sequent, options: &FolOptions) -> FolResult {
+    match sequent_to_clauses(sequent, &options.translate) {
+        Ok(clauses) => {
+            let (outcome, stats) = saturate(&clauses, options.limits);
+            FolResult {
+                proved: outcome == ResolutionOutcome::Proved,
+                outcome: Some(outcome),
+                stats,
+            }
+        }
+        Err(TranslationOverflow) => FolResult {
+            proved: false,
+            outcome: None,
+            stats: ResolutionStats::default(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jahob_logic::parse_form;
+
+    fn seq(assumptions: &[&str], goal: &str) -> Sequent {
+        Sequent::new(
+            assumptions.iter().map(|a| parse_form(a).expect("parse")).collect(),
+            parse_form(goal).expect("parse"),
+        )
+    }
+
+    fn proves(assumptions: &[&str], goal: &str) -> bool {
+        prove_sequent(&seq(assumptions, goal), &FolOptions::default()).proved
+    }
+
+    #[test]
+    fn proves_propositional_sequents() {
+        assert!(proves(&["p", "p --> q"], "q"));
+        assert!(!proves(&["p | q"], "p"));
+    }
+
+    #[test]
+    fn proves_equational_reasoning() {
+        assert!(proves(&["x = y", "y = z"], "x = z"));
+        assert!(!proves(&["x = y"], "x = z"));
+    }
+
+    #[test]
+    fn proves_quantifier_instantiation() {
+        assert!(proves(
+            &["ALL x. x : Node & x ~= null --> x..next : Node", "n : Node", "n ~= null"],
+            "n..next : Node"
+        ));
+    }
+
+    #[test]
+    fn proves_membership_propagation_through_quantified_assumptions() {
+        assert!(proves(
+            &["ALL k v. (k, v) : content0 --> (k, v) : content1", "(k0, v0) : content0"],
+            "(k0, v0) : content1"
+        ));
+    }
+
+    #[test]
+    fn proves_reachability_steps() {
+        // From reflexivity and step inclusion of the generated reach predicate.
+        assert!(proves(
+            &[],
+            "rtrancl_pt (% u v. u..next = v) root root"
+        ));
+        assert!(proves(
+            &["root..next = mid"],
+            "rtrancl_pt (% u v. u..next = v) root mid"
+        ));
+    }
+
+    #[test]
+    fn does_not_prove_invalid_reachability() {
+        assert!(!proves(
+            &["root..next = mid"],
+            "rtrancl_pt (% u v. u..next = v) mid root"
+        ));
+    }
+
+    #[test]
+    fn respects_by_hints_via_filtered_sequents() {
+        let s = seq(
+            &[
+                "comment ''irrelevant'' (huge : content)",
+                "comment ''key'' (a = b)",
+            ],
+            "b = a",
+        );
+        let filtered = s.filter_by_labels(&["key".to_string()]);
+        assert!(prove_sequent(&filtered, &FolOptions::default()).proved);
+    }
+}

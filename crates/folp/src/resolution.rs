@@ -1,0 +1,384 @@
+//! A saturation-based resolution prover.
+//!
+//! The prover implements the given-clause loop with binary resolution, factoring,
+//! tautology deletion and forward subsumption. Equality is handled through the axioms
+//! emitted by [`crate::translate`] (symmetry, transitivity, congruence) plus a built-in
+//! reflexivity clause. Resolution uses *negative-literal selection*: a clause that
+//! contains negative literals may only be resolved on its first negative literal, which
+//! drastically curbs the explosion caused by the equality axioms while preserving
+//! refutational completeness (every positive literal of the other premise remains
+//! available). Derived clauses larger than a configurable bound are discarded, trading
+//! completeness for predictable resource usage — acceptable because the dispatcher only
+//! acts on `Proved` answers.
+
+use crate::fol::{unify_atoms, Atom, Clause, Literal, Subst, Term};
+use std::time::{Duration, Instant};
+
+/// Resource limits for the saturation loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolutionLimits {
+    /// Maximum number of given clauses processed.
+    pub max_iterations: usize,
+    /// Maximum number of clauses retained overall.
+    pub max_clauses: usize,
+    /// Derived clauses with more symbols than this are discarded.
+    pub max_clause_size: usize,
+    /// Derived clauses with more literals than this are discarded.
+    pub max_literals: usize,
+    /// Wall-clock budget in milliseconds (a safety net so that a single proof attempt
+    /// cannot stall a verification run; `0` disables the check).
+    pub max_millis: u64,
+}
+
+impl Default for ResolutionLimits {
+    fn default() -> Self {
+        ResolutionLimits {
+            max_iterations: 400,
+            max_clauses: 4_000,
+            max_clause_size: 48,
+            max_literals: 6,
+            max_millis: 2_000,
+        }
+    }
+}
+
+/// Outcome of a saturation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolutionOutcome {
+    /// The empty clause was derived: the input clause set is unsatisfiable.
+    Proved,
+    /// The clause set was saturated without deriving the empty clause (under the
+    /// incomplete strategy this does not guarantee satisfiability).
+    Saturated,
+    /// A resource limit was reached.
+    ResourceLimit,
+}
+
+/// Statistics from a saturation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolutionStats {
+    /// Number of given clauses processed.
+    pub iterations: usize,
+    /// Number of clauses generated (before deletion).
+    pub generated: usize,
+    /// Number of clauses retained.
+    pub retained: usize,
+}
+
+/// Runs the saturation loop on the given clause set.
+pub fn saturate(clauses: &[Clause], limits: ResolutionLimits) -> (ResolutionOutcome, ResolutionStats) {
+    let start = Instant::now();
+    let deadline = if limits.max_millis == 0 {
+        None
+    } else {
+        Some(Duration::from_millis(limits.max_millis))
+    };
+    let mut stats = ResolutionStats::default();
+    let mut active: Vec<Clause> = Vec::new();
+    let mut passive: Vec<Clause> = Vec::new();
+
+    // Built-in reflexivity (kept out of tautology deletion).
+    passive.push(Clause {
+        literals: vec![Literal::pos(Atom::eq(Term::Var(0), Term::Var(0)))],
+    });
+    for c in clauses {
+        if c.is_empty() {
+            return (ResolutionOutcome::Proved, stats);
+        }
+        if !c.is_tautology() {
+            passive.push(c.clone());
+        }
+    }
+
+    while let Some(idx) = pick_given(&passive) {
+        if stats.iterations >= limits.max_iterations {
+            return (ResolutionOutcome::ResourceLimit, stats);
+        }
+        if active.len() + passive.len() > limits.max_clauses {
+            return (ResolutionOutcome::ResourceLimit, stats);
+        }
+        if let Some(d) = deadline {
+            if start.elapsed() > d {
+                return (ResolutionOutcome::ResourceLimit, stats);
+            }
+        }
+        stats.iterations += 1;
+        let given = passive.swap_remove(idx);
+        if is_forward_subsumed(&given, &active) {
+            continue;
+        }
+
+        let mut new_clauses = Vec::new();
+        // Factoring on the given clause.
+        new_clauses.extend(factors(&given));
+        // Binary resolution with every active clause and with itself.
+        for other in active.iter().chain(std::iter::once(&given)) {
+            new_clauses.extend(resolvents(&given, other));
+        }
+        active.push(given);
+
+        for c in new_clauses {
+            stats.generated += 1;
+            if c.is_empty() {
+                stats.retained = active.len() + passive.len();
+                return (ResolutionOutcome::Proved, stats);
+            }
+            if c.is_tautology()
+                || c.literals.len() > limits.max_literals
+                || c.size() > limits.max_clause_size
+            {
+                continue;
+            }
+            if is_forward_subsumed(&c, &active) || is_forward_subsumed(&c, &passive) {
+                continue;
+            }
+            passive.push(c);
+            if active.len() + passive.len() > limits.max_clauses {
+                return (ResolutionOutcome::ResourceLimit, stats);
+            }
+        }
+    }
+    stats.retained = active.len();
+    (ResolutionOutcome::Saturated, stats)
+}
+
+/// Picks the index of the smallest passive clause (a simple best-first heuristic).
+fn pick_given(passive: &[Clause]) -> Option<usize> {
+    passive
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, c)| (c.size(), c.literals.len()))
+        .map(|(i, _)| i)
+}
+
+/// The index of the literal a clause is allowed to resolve on *negatively*: its first
+/// negative literal, if any (negative-literal selection).
+fn selected_negative(c: &Clause) -> Option<usize> {
+    c.literals.iter().position(|l| !l.positive)
+}
+
+/// All binary resolvents of `a` and `b` under negative-literal selection: the negative
+/// partner of every inference must be the selected negative literal of its clause.
+fn resolvents(a: &Clause, b: &Clause) -> Vec<Clause> {
+    let mut out = Vec::new();
+    // Rename apart.
+    let offset = a.var_bound();
+    let b = b.shift_vars(offset);
+    let sel_a = selected_negative(a);
+    let sel_b = selected_negative(&b);
+    for (i, la) in a.literals.iter().enumerate() {
+        for (j, lb) in b.literals.iter().enumerate() {
+            if la.positive == lb.positive {
+                continue;
+            }
+            // Enforce selection on whichever premise contributes the negative literal.
+            if !la.positive && sel_a != Some(i) {
+                continue;
+            }
+            if !lb.positive && sel_b != Some(j) {
+                continue;
+            }
+            let mut subst = Subst::new();
+            if unify_atoms(&la.atom, &lb.atom, &mut subst) {
+                let mut lits = Vec::new();
+                for (k, l) in a.literals.iter().enumerate() {
+                    if k != i {
+                        lits.push(l.apply(&subst));
+                    }
+                }
+                for (k, l) in b.literals.iter().enumerate() {
+                    if k != j {
+                        lits.push(l.apply(&subst));
+                    }
+                }
+                out.push(Clause::new(lits));
+            }
+        }
+    }
+    out
+}
+
+/// All binary factors of a clause (unifying two literals of the same sign).
+fn factors(c: &Clause) -> Vec<Clause> {
+    let mut out = Vec::new();
+    for i in 0..c.literals.len() {
+        for j in (i + 1)..c.literals.len() {
+            let (li, lj) = (&c.literals[i], &c.literals[j]);
+            if li.positive != lj.positive {
+                continue;
+            }
+            let mut subst = Subst::new();
+            if unify_atoms(&li.atom, &lj.atom, &mut subst) {
+                out.push(c.apply(&subst));
+            }
+        }
+    }
+    out
+}
+
+/// Returns `true` if `clause` is subsumed by some clause in `set`.
+fn is_forward_subsumed(clause: &Clause, set: &[Clause]) -> bool {
+    set.iter().any(|c| subsumes(c, clause))
+}
+
+/// Returns `true` if `general` subsumes `specific`: some substitution maps every literal
+/// of `general` onto a literal of `specific`.
+fn subsumes(general: &Clause, specific: &Clause) -> bool {
+    if general.literals.len() > specific.literals.len() {
+        return false;
+    }
+    // Cheap prefilter: every predicate symbol (with sign) of `general` must occur in
+    // `specific`, otherwise no literal matching can exist.
+    if !general.literals.iter().all(|lg| {
+        specific
+            .literals
+            .iter()
+            .any(|ls| ls.positive == lg.positive && ls.atom.pred == lg.atom.pred)
+    }) {
+        return false;
+    }
+    // Rename `general` apart from `specific` so matching cannot capture.
+    let general = general.shift_vars(specific.var_bound());
+    fn go(remaining: &[Literal], specific: &Clause, subst: &Subst) -> bool {
+        let Some((first, rest)) = remaining.split_first() else {
+            return true;
+        };
+        for target in &specific.literals {
+            if target.positive != first.positive {
+                continue;
+            }
+            let mut s = subst.clone();
+            if match_atom(&first.atom, &target.atom, &mut s) && go(rest, specific, &s) {
+                return true;
+            }
+        }
+        false
+    }
+    go(&general.literals, specific, &Subst::new())
+}
+
+fn match_atom(pattern: &Atom, target: &Atom, subst: &mut Subst) -> bool {
+    pattern.pred == target.pred
+        && pattern.args.len() == target.args.len()
+        && pattern
+            .args
+            .iter()
+            .zip(target.args.iter())
+            .all(|(p, t)| crate::fol::match_terms(p, t, subst))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(name: &str) -> Term {
+        Term::constant(name)
+    }
+
+    fn v(n: u32) -> Term {
+        Term::Var(n)
+    }
+
+    fn p(name: &str, args: Vec<Term>) -> Atom {
+        Atom::new(name, args)
+    }
+
+    #[test]
+    fn derives_empty_clause_from_direct_contradiction() {
+        let clauses = vec![
+            Clause::new(vec![Literal::pos(p("q", vec![c("a")]))]),
+            Clause::new(vec![Literal::neg(p("q", vec![c("a")]))]),
+        ];
+        let (outcome, _) = saturate(&clauses, ResolutionLimits::default());
+        assert_eq!(outcome, ResolutionOutcome::Proved);
+    }
+
+    #[test]
+    fn proves_modus_ponens_with_quantifiers() {
+        // ALL x. p(x) -> q(x),  p(a),  ~q(a)
+        let clauses = vec![
+            Clause::new(vec![
+                Literal::neg(p("p", vec![v(0)])),
+                Literal::pos(p("q", vec![v(0)])),
+            ]),
+            Clause::new(vec![Literal::pos(p("p", vec![c("a")]))]),
+            Clause::new(vec![Literal::neg(p("q", vec![c("a")]))]),
+        ];
+        let (outcome, stats) = saturate(&clauses, ResolutionLimits::default());
+        assert_eq!(outcome, ResolutionOutcome::Proved);
+        assert!(stats.iterations > 0);
+    }
+
+    #[test]
+    fn saturates_on_satisfiable_sets() {
+        let clauses = vec![
+            Clause::new(vec![Literal::pos(p("p", vec![c("a")]))]),
+            Clause::new(vec![Literal::pos(p("q", vec![c("b")]))]),
+        ];
+        let (outcome, _) = saturate(&clauses, ResolutionLimits::default());
+        assert_eq!(outcome, ResolutionOutcome::Saturated);
+    }
+
+    #[test]
+    fn transitivity_chain_with_equality_axioms() {
+        // a = b, b = c, goal a = c (negated) with symmetry/transitivity axioms.
+        let clauses = vec![
+            Clause::new(vec![Literal::pos(Atom::eq(c("a"), c("b")))]),
+            Clause::new(vec![Literal::pos(Atom::eq(c("b"), c("c")))]),
+            Clause::new(vec![Literal::neg(Atom::eq(c("a"), c("c")))]),
+            // transitivity
+            Clause::new(vec![
+                Literal::neg(Atom::eq(v(0), v(1))),
+                Literal::neg(Atom::eq(v(1), v(2))),
+                Literal::pos(Atom::eq(v(0), v(2))),
+            ]),
+        ];
+        let (outcome, _) = saturate(&clauses, ResolutionLimits::default());
+        assert_eq!(outcome, ResolutionOutcome::Proved);
+    }
+
+    #[test]
+    fn factoring_is_applied() {
+        // p(x) | p(a)  and  ~p(a): needs factoring (or two resolution steps).
+        let clauses = vec![
+            Clause::new(vec![
+                Literal::pos(p("p", vec![v(0)])),
+                Literal::pos(p("p", vec![c("a")])),
+            ]),
+            Clause::new(vec![Literal::neg(p("p", vec![c("a")]))]),
+        ];
+        let (outcome, _) = saturate(&clauses, ResolutionLimits::default());
+        assert_eq!(outcome, ResolutionOutcome::Proved);
+    }
+
+    #[test]
+    fn subsumption_discards_weaker_clauses() {
+        let general = Clause::new(vec![Literal::pos(p("p", vec![v(0)]))]);
+        let specific = Clause::new(vec![
+            Literal::pos(p("p", vec![c("a")])),
+            Literal::pos(p("q", vec![c("b")])),
+        ]);
+        assert!(subsumes(&general, &specific));
+        assert!(!subsumes(&specific, &general));
+    }
+
+    #[test]
+    fn resource_limits_are_respected() {
+        // An exploding clause set (a growing chain) with a tiny iteration budget.
+        let clauses = vec![
+            Clause::new(vec![Literal::pos(p("p", vec![c("a")]))]),
+            Clause::new(vec![
+                Literal::neg(p("p", vec![v(0)])),
+                Literal::pos(p("p", vec![Term::App("f".into(), vec![v(0)])])),
+            ]),
+            Clause::new(vec![Literal::neg(p("q", vec![c("z")]))]),
+        ];
+        let limits = ResolutionLimits {
+            max_iterations: 5,
+            ..ResolutionLimits::default()
+        };
+        let (outcome, stats) = saturate(&clauses, limits);
+        assert_eq!(outcome, ResolutionOutcome::ResourceLimit);
+        assert!(stats.iterations <= 5);
+    }
+}

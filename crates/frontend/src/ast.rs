@@ -1,0 +1,560 @@
+//! The program model: annotated Java classes, fields, specification variables,
+//! invariants, method contracts and method bodies.
+//!
+//! The paper's Jahob consumes Java source files whose specifications live in `/*: ... */`
+//! comments. This reproduction substitutes a *programmatic* abstract syntax for the Java
+//! surface syntax (see DESIGN.md): the same constructs — classes, instance and static
+//! fields, ghost and defined specification variables, class invariants, `requires` /
+//! `modifies` / `ensures` contracts, loop invariants and in-body proof commands — are
+//! built with Rust constructors, while every specification *formula* is still written in
+//! the Isabelle-style concrete syntax and parsed by `jahob-logic`. The verification
+//! pipeline downstream of parsing (translation to guarded commands, VC generation,
+//! splitting, integrated reasoning) is exercised exactly as in the paper.
+
+use jahob_logic::form::Form;
+use jahob_logic::parse_form;
+use jahob_logic::types::Type;
+
+/// A Java-level type (the subset the suite uses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JavaType {
+    /// A reference to an object of the named class.
+    Ref(String),
+    /// A mathematical integer (§4.1).
+    Int,
+    /// A boolean.
+    Bool,
+    /// An array of object references.
+    ObjArray,
+}
+
+impl JavaType {
+    /// The logical type used for variables of this Java type.
+    pub fn logical(&self) -> Type {
+        match self {
+            JavaType::Ref(_) | JavaType::ObjArray => Type::Obj,
+            JavaType::Int => Type::Int,
+            JavaType::Bool => Type::Bool,
+        }
+    }
+}
+
+/// A field declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDef {
+    /// Field name (unqualified).
+    pub name: String,
+    /// Field type.
+    pub ty: JavaType,
+    /// `true` for static fields (one global cell), `false` for instance fields (a
+    /// function from objects).
+    pub is_static: bool,
+}
+
+/// The kind of a specification variable (§3.2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecVarKind {
+    /// A ghost variable, updated by explicit specification assignments.
+    Ghost,
+    /// A defined variable with its definition.
+    Defined(Form),
+}
+
+/// A specification variable declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecVarDef {
+    /// Name (unqualified).
+    pub name: String,
+    /// Logical type.
+    pub ty: Type,
+    /// Ghost or defined.
+    pub kind: SpecVarKind,
+    /// Whether clients may mention the variable.
+    pub is_public: bool,
+    /// Whether the variable is static (class-level) or per-object (lifted to a function
+    /// type by the frontend, §3.2).
+    pub is_static: bool,
+}
+
+/// A named class invariant (§3.4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invariant {
+    /// The label used in `by` hints and error messages.
+    pub name: String,
+    /// The invariant formula.
+    pub form: Form,
+    /// Public invariants are visible to (and guaranteed for) clients.
+    pub is_public: bool,
+}
+
+/// A method contract (§3.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Contract {
+    /// Precondition.
+    pub requires: Form,
+    /// Names of the public state components the method may change.
+    pub modifies: Vec<String>,
+    /// Postcondition (may mention `old`).
+    pub ensures: Form,
+}
+
+impl Default for Contract {
+    fn default() -> Self {
+        Contract {
+            requires: Form::tt(),
+            modifies: Vec::new(),
+            ensures: Form::tt(),
+        }
+    }
+}
+
+/// An l-value: the target of an assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lvalue {
+    /// A local variable or parameter.
+    Local(String),
+    /// A static field or static specification variable of the enclosing class.
+    Static(String),
+    /// An instance field of the object denoted by the expression.
+    Field(Expr, String),
+    /// An element of an array.
+    ArrayElem(Expr, Expr),
+}
+
+/// A side-effect-free expression of the Java subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A local variable, parameter, or `this`.
+    Local(String),
+    /// A static field of the enclosing class.
+    Static(String),
+    /// `null`.
+    Null,
+    /// Integer literal.
+    IntLit(i64),
+    /// Boolean literal.
+    BoolLit(bool),
+    /// Instance field access `e.f`.
+    Field(Box<Expr>, String),
+    /// Array element `a[i]`.
+    ArrayElem(Box<Expr>, Box<Expr>),
+    /// Array length `a.length`.
+    ArrayLength(Box<Expr>),
+    /// Equality `e1 == e2`.
+    Eq(Box<Expr>, Box<Expr>),
+    /// Disequality `e1 != e2`.
+    Neq(Box<Expr>, Box<Expr>),
+    /// Integer comparison `e1 < e2`.
+    Lt(Box<Expr>, Box<Expr>),
+    /// Integer comparison `e1 <= e2`.
+    Le(Box<Expr>, Box<Expr>),
+    /// Addition.
+    Plus(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Minus(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Times(Box<Expr>, Box<Expr>),
+    /// Integer division.
+    Div(Box<Expr>, Box<Expr>),
+    /// Remainder.
+    Mod(Box<Expr>, Box<Expr>),
+    /// Boolean negation.
+    Not(Box<Expr>),
+    /// Short-circuit conjunction (pure, so plain conjunction logically).
+    And(Box<Expr>, Box<Expr>),
+    /// Short-circuit disjunction.
+    Or(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for `e.f`.
+    pub fn field(e: Expr, f: impl Into<String>) -> Expr {
+        Expr::Field(Box::new(e), f.into())
+    }
+
+    /// Convenience constructor for a local variable.
+    pub fn local(name: impl Into<String>) -> Expr {
+        Expr::Local(name.into())
+    }
+
+    /// Convenience constructor for equality with `null`.
+    pub fn is_null(e: Expr) -> Expr {
+        Expr::Eq(Box::new(e), Box::new(Expr::Null))
+    }
+}
+
+/// A statement of the Java subset plus the specification statements of §3.5.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Declaration of a local variable with an optional initialiser.
+    Local {
+        /// Variable name.
+        name: String,
+        /// Variable type.
+        ty: JavaType,
+        /// Optional initial value.
+        init: Option<Expr>,
+    },
+    /// Assignment to an l-value.
+    Assign(Lvalue, Expr),
+    /// Allocation `target = new Class()`.
+    New {
+        /// The local or static variable receiving the fresh object.
+        target: Lvalue,
+        /// The class being instantiated.
+        class: String,
+    },
+    /// Allocation of an object array `target = new Object[len]`.
+    NewArray {
+        /// The variable receiving the fresh array.
+        target: Lvalue,
+        /// The length expression.
+        length: Expr,
+    },
+    /// Conditional.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then_branch: Vec<Stmt>,
+        /// Else-branch.
+        else_branch: Vec<Stmt>,
+    },
+    /// While loop with a loop invariant (§3.5); the invariant formula is written in
+    /// specification syntax.
+    While {
+        /// Loop invariant.
+        invariant: Form,
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Return from the method (with a value for non-void methods).
+    Return(Option<Expr>),
+    /// Specification assignment to a ghost variable: `x := "formula"` or
+    /// `x..f := "formula"` (per-object ghost field update).
+    GhostAssign {
+        /// The ghost variable (static) or ghost field name.
+        target: String,
+        /// Optional receiver for per-object ghost fields.
+        receiver: Option<Expr>,
+        /// The new value.
+        value: Form,
+    },
+    /// `assert F [by hints]` (statically checked, §3.5).
+    SpecAssert {
+        /// Optional label.
+        label: Option<String>,
+        /// The asserted formula.
+        form: Form,
+        /// Assumption-selection hints.
+        hints: Vec<String>,
+    },
+    /// `assume F` (trusted; emits a warning in reports).
+    SpecAssume {
+        /// Optional label.
+        label: Option<String>,
+        /// The assumed formula.
+        form: Form,
+    },
+    /// `note F by hints`: prove and then use as a lemma.
+    SpecNote {
+        /// Optional label.
+        label: Option<String>,
+        /// The noted formula.
+        form: Form,
+        /// Assumption-selection hints.
+        hints: Vec<String>,
+    },
+    /// `havoc x suchThat F`.
+    SpecHavoc {
+        /// The changed variables.
+        vars: Vec<String>,
+        /// Constraint on the new values.
+        such_that: Option<Form>,
+    },
+}
+
+/// A method definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodDef {
+    /// Method name.
+    pub name: String,
+    /// `true` for public methods (which get the class invariants woven into their
+    /// contract automatically, §3.4).
+    pub is_public: bool,
+    /// `true` for static methods (no receiver).
+    pub is_static: bool,
+    /// Parameters.
+    pub params: Vec<(String, JavaType)>,
+    /// Return type (`None` for void).
+    pub return_type: Option<JavaType>,
+    /// The contract.
+    pub contract: Contract,
+    /// The body.
+    pub body: Vec<Stmt>,
+}
+
+/// A class definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDef {
+    /// Class name.
+    pub name: String,
+    /// Fields.
+    pub fields: Vec<FieldDef>,
+    /// Specification variables.
+    pub spec_vars: Vec<SpecVarDef>,
+    /// Class invariants.
+    pub invariants: Vec<Invariant>,
+    /// Methods.
+    pub methods: Vec<MethodDef>,
+}
+
+impl ClassDef {
+    /// Creates an empty class.
+    pub fn new(name: impl Into<String>) -> Self {
+        ClassDef {
+            name: name.into(),
+            fields: Vec::new(),
+            spec_vars: Vec::new(),
+            invariants: Vec::new(),
+            methods: Vec::new(),
+        }
+    }
+
+    /// Adds an instance field.
+    pub fn field(mut self, name: &str, ty: JavaType) -> Self {
+        self.fields.push(FieldDef {
+            name: name.to_string(),
+            ty,
+            is_static: false,
+        });
+        self
+    }
+
+    /// Adds a static field.
+    pub fn static_field(mut self, name: &str, ty: JavaType) -> Self {
+        self.fields.push(FieldDef {
+            name: name.to_string(),
+            ty,
+            is_static: true,
+        });
+        self
+    }
+
+    /// Adds a static ghost specification variable.
+    pub fn ghost_var(mut self, name: &str, ty: &str, public: bool) -> Self {
+        self.spec_vars.push(SpecVarDef {
+            name: name.to_string(),
+            ty: jahob_logic::parse_type(ty).expect("spec variable type"),
+            kind: SpecVarKind::Ghost,
+            is_public: public,
+            is_static: true,
+        });
+        self
+    }
+
+    /// Adds a per-object ghost specification variable (lifted to a function from
+    /// objects).
+    pub fn ghost_field(mut self, name: &str, ty: &str) -> Self {
+        let value = jahob_logic::parse_type(ty).expect("spec variable type");
+        self.spec_vars.push(SpecVarDef {
+            name: name.to_string(),
+            ty: Type::fun(Type::Obj, value),
+            kind: SpecVarKind::Ghost,
+            is_public: false,
+            is_static: false,
+        });
+        self
+    }
+
+    /// Adds a static defined specification variable (a `vardefs` entry).
+    pub fn defined_var(mut self, name: &str, ty: &str, definition: &str, public: bool) -> Self {
+        self.spec_vars.push(SpecVarDef {
+            name: name.to_string(),
+            ty: jahob_logic::parse_type(ty).expect("spec variable type"),
+            kind: SpecVarKind::Defined(parse_form(definition).expect("spec variable definition")),
+            is_public: public,
+            is_static: true,
+        });
+        self
+    }
+
+    /// Adds a (private) class invariant.
+    pub fn invariant(mut self, name: &str, form: &str) -> Self {
+        self.invariants.push(Invariant {
+            name: name.to_string(),
+            form: parse_form(form).expect("invariant formula"),
+            is_public: false,
+        });
+        self
+    }
+
+    /// Adds a public class invariant.
+    pub fn public_invariant(mut self, name: &str, form: &str) -> Self {
+        self.invariants.push(Invariant {
+            name: name.to_string(),
+            form: parse_form(form).expect("invariant formula"),
+            is_public: true,
+        });
+        self
+    }
+
+    /// Adds a method.
+    pub fn method(mut self, m: MethodDef) -> Self {
+        self.methods.push(m);
+        self
+    }
+}
+
+/// A whole program: the class under verification plus any auxiliary (node) classes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// The classes of the program.
+    pub classes: Vec<ClassDef>,
+}
+
+impl Program {
+    /// Creates a program from classes.
+    pub fn new(classes: Vec<ClassDef>) -> Self {
+        Program { classes }
+    }
+
+    /// Finds a class by name.
+    pub fn class(&self, name: &str) -> Option<&ClassDef> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+
+    /// Iterates over `(class, method)` pairs.
+    pub fn methods(&self) -> impl Iterator<Item = (&ClassDef, &MethodDef)> {
+        self.classes
+            .iter()
+            .flat_map(|c| c.methods.iter().map(move |m| (c, m)))
+    }
+}
+
+/// Builder for methods.
+#[derive(Debug, Clone)]
+pub struct MethodBuilder {
+    def: MethodDef,
+}
+
+impl MethodBuilder {
+    /// Starts a public method.
+    pub fn public(name: &str) -> Self {
+        MethodBuilder {
+            def: MethodDef {
+                name: name.to_string(),
+                is_public: true,
+                is_static: false,
+                params: Vec::new(),
+                return_type: None,
+                contract: Contract::default(),
+                body: Vec::new(),
+            },
+        }
+    }
+
+    /// Marks the method static.
+    pub fn static_method(mut self) -> Self {
+        self.def.is_static = true;
+        self
+    }
+
+    /// Marks the method private (class invariants are not woven in).
+    pub fn private(mut self) -> Self {
+        self.def.is_public = false;
+        self
+    }
+
+    /// Adds a parameter.
+    pub fn param(mut self, name: &str, ty: JavaType) -> Self {
+        self.def.params.push((name.to_string(), ty));
+        self
+    }
+
+    /// Sets the return type.
+    pub fn returns(mut self, ty: JavaType) -> Self {
+        self.def.return_type = Some(ty);
+        self
+    }
+
+    /// Sets the precondition.
+    pub fn requires(mut self, form: &str) -> Self {
+        self.def.contract.requires = parse_form(form).expect("requires clause");
+        self
+    }
+
+    /// Sets the frame (modifies clause).
+    pub fn modifies(mut self, vars: &[&str]) -> Self {
+        self.def.contract.modifies = vars.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Sets the postcondition.
+    pub fn ensures(mut self, form: &str) -> Self {
+        self.def.contract.ensures = parse_form(form).expect("ensures clause");
+        self
+    }
+
+    /// Sets the body.
+    pub fn body(mut self, stmts: Vec<Stmt>) -> Self {
+        self.def.body = stmts;
+        self
+    }
+
+    /// Finishes the method.
+    pub fn build(self) -> MethodDef {
+        self.def
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_builder_collects_members() {
+        let class = ClassDef::new("List")
+            .static_field("root", JavaType::Ref("List".into()))
+            .field("next", JavaType::Ref("List".into()))
+            .ghost_var("content", "obj set", true)
+            .defined_var("nonempty", "bool", "content ~= {}", false)
+            .invariant("rootAlloc", "root : alloc")
+            .method(MethodBuilder::public("clear").static_method().build());
+        assert_eq!(class.fields.len(), 2);
+        assert_eq!(class.spec_vars.len(), 2);
+        assert_eq!(class.invariants.len(), 1);
+        assert_eq!(class.methods.len(), 1);
+    }
+
+    #[test]
+    fn java_types_map_to_logical_types() {
+        assert_eq!(JavaType::Int.logical(), Type::Int);
+        assert_eq!(JavaType::Ref("Node".into()).logical(), Type::Obj);
+        assert_eq!(JavaType::ObjArray.logical(), Type::Obj);
+    }
+
+    #[test]
+    fn method_builder_sets_contract() {
+        let m = MethodBuilder::public("add")
+            .static_method()
+            .param("x", JavaType::Ref("Object".into()))
+            .requires("x ~= null")
+            .modifies(&["content"])
+            .ensures("content = old content Un {x}")
+            .build();
+        assert!(m.is_static && m.is_public);
+        assert_eq!(m.contract.modifies, vec!["content".to_string()]);
+        assert!(m.contract.ensures.contains_const(&jahob_logic::Const::Old));
+    }
+
+    #[test]
+    fn program_lookup() {
+        let p = Program::new(vec![ClassDef::new("A"), ClassDef::new("B")]);
+        assert!(p.class("A").is_some());
+        assert!(p.class("C").is_none());
+        assert_eq!(p.methods().count(), 0);
+    }
+}

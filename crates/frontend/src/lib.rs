@@ -1,0 +1,36 @@
+//! # jahob-frontend
+//!
+//! The frontend of the Jahob reproduction: the program model for annotated Java-subset
+//! classes (fields, ghost and defined specification variables, class invariants, method
+//! contracts, loop invariants and in-body proof commands — §2–§3 of *Full Functional
+//! Verification of Linked Data Structures*, PLDI 2008) and its translation into extended
+//! guarded commands (§4.2).
+//!
+//! Specification formulas are written in the Isabelle-style concrete syntax of
+//! `jahob-logic`. Program structure can be given in two equivalent ways:
+//!
+//! * as a programmatic AST built with [`ClassDef`] / [`MethodBuilder`] (see DESIGN.md for
+//!   the substitution rationale), or
+//! * as MiniJava+spec source text — Java classes whose specifications live in
+//!   `/*: ... */` and `//: ...` comments, as in the paper's Figures 2–6 — parsed by
+//!   [`parse_program`].
+//!
+//! The translation inserts null-dereference and array-bounds assertions, models field and
+//! array updates with `fieldWrite`/`arrayWrite`, snapshots the pre-state for `old`, and
+//! weaves preconditions, postconditions, class invariants and frame conditions into the
+//! command stream, exactly as §4.2–§4.4 describe.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod translate;
+
+pub use ast::{
+    ClassDef, Contract, Expr, FieldDef, Invariant, JavaType, Lvalue, MethodBuilder, MethodDef,
+    Program, SpecVarDef, SpecVarKind, Stmt,
+};
+pub use parser::{parse_program, SourceError};
+pub use translate::{method_task, program_tasks, MethodTask};

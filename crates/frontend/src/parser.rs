@@ -1,0 +1,1046 @@
+//! Parser for the MiniJava+spec surface syntax.
+//!
+//! The input format follows the paper's examples (Figures 2–6): Java classes whose
+//! specifications live in `/*: ... */` and `//: ...` comments. Specification *formulas*
+//! appear as string literals inside those comments and are parsed by
+//! [`jahob_logic::parse_form`]; everything else (classes, fields, method signatures,
+//! statements) is a small Java subset. [`parse_program`] lowers the source text directly
+//! into the program model of [`crate::ast`], which the translator (`crate::translate`)
+//! then turns into verification tasks.
+//!
+//! Supported class-level specification items:
+//!
+//! * `public|private [static] ghost specvar name :: "type" [= "init"];`
+//! * `public|private [static] specvar name :: "type";` followed by
+//!   `vardefs "name == definition";`
+//! * `[public] invariant Name: "formula";`
+//! * `claimedby ClassName` (accepted and recorded nowhere — the representation-ownership
+//!   check it expresses is enforced structurally by the programmatic model)
+//!
+//! Supported method-level items: `requires`, `modifies`, `ensures` contracts, loop
+//! invariants (`while /*: inv "..." */ (...)`), ghost assignments (`x := "formula";`),
+//! `assert` / `assume` / `note` (with optional labels and `by` hints) and
+//! `havoc x suchThat "..."`.
+
+use crate::ast::{
+    ClassDef, Contract, Expr, FieldDef, Invariant, JavaType, Lvalue, MethodDef, Program,
+    SpecVarDef, SpecVarKind, Stmt,
+};
+use crate::lexer::{lex, LexError, Spanned, Token};
+use jahob_logic::form::Form;
+use jahob_logic::types::Type;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A parse error with a 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceError {
+    /// Line on which the error was detected.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+impl From<LexError> for SourceError {
+    fn from(e: LexError) -> Self {
+        SourceError {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
+/// Parses a MiniJava+spec source file into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`SourceError`] describing the first lexical, syntactic, or
+/// specification-formula error encountered.
+///
+/// # Examples
+///
+/// ```
+/// let src = r#"
+///     class Cell {
+///         private static Object value;
+///         /*: public static ghost specvar content :: "obj set";
+///             invariant valueTracked: "value = null | value : content"; */
+///
+///         public static void set(Object x)
+///         /*: requires "x ~= null" modifies content ensures "content = {x}" */
+///         {
+///             value = x;
+///             //: content := "{x}";
+///         }
+///     }
+/// "#;
+/// let program = jahob_frontend::parse_program(src).unwrap();
+/// assert_eq!(program.classes.len(), 1);
+/// assert_eq!(program.classes[0].methods.len(), 1);
+/// ```
+pub fn parse_program(source: &str) -> Result<Program, SourceError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        locals: BTreeSet::new(),
+    };
+    let mut classes = Vec::new();
+    while !parser.at_end() {
+        classes.push(parser.class()?);
+    }
+    Ok(Program::new(classes))
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    /// Local variables (parameters and declarations) of the method currently being
+    /// parsed; identifiers outside this set resolve to static/class-level names.
+    locals: BTreeSet<String>,
+}
+
+impl Parser {
+    // ------------------------------------------------------------------ token plumbing
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|s| s.line)
+            .unwrap_or(0)
+    }
+
+    fn error(&self, message: impl Into<String>) -> SourceError {
+        SourceError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + offset).map(|s| &s.token)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if self.check_sym(sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn check_sym(&self, sym: &str) -> bool {
+        matches!(self.peek(), Some(Token::Sym(s)) if *s == sym)
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<(), SourceError> {
+        if self.check_sym(sym) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected `{sym}`, found {}",
+                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn check_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s == kw)
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SourceError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected `{kw}`, found {}",
+                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, SourceError> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.error(format!(
+                "expected an identifier, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn expect_string(&mut self) -> Result<String, SourceError> {
+        match self.bump() {
+            Some(Token::Str(s)) => Ok(s),
+            other => Err(self.error(format!(
+                "expected a quoted specification string, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn formula(&mut self) -> Result<Form, SourceError> {
+        let line = self.line();
+        let text = self.expect_string()?;
+        jahob_logic::parse_form(&text).map_err(|e| SourceError {
+            line,
+            message: format!("specification formula error in {text:?}: {e}"),
+        })
+    }
+
+    fn spec_type(&mut self) -> Result<Type, SourceError> {
+        let line = self.line();
+        let text = self.expect_string()?;
+        jahob_logic::parse_type(&text).map_err(|e| SourceError {
+            line,
+            message: format!("specification type error in {text:?}: {e}"),
+        })
+    }
+
+    fn check_spec_open(&self) -> bool {
+        self.peek() == Some(&Token::SpecOpen)
+    }
+
+    fn check_spec_close(&self) -> bool {
+        self.peek() == Some(&Token::SpecClose)
+    }
+
+    // ------------------------------------------------------------------ classes
+
+    fn class(&mut self) -> Result<ClassDef, SourceError> {
+        // Modifiers (and an optional `/*: claimedby C */` annotation) before `class`.
+        loop {
+            if self.eat_keyword("public") || self.eat_keyword("private") || self.eat_keyword("final")
+            {
+                continue;
+            }
+            if self.check_spec_open() {
+                self.bump();
+                self.expect_keyword("claimedby")?;
+                let _owner = self.expect_ident()?;
+                if !self.check_spec_close() {
+                    return Err(self.error("expected `*/` after claimedby annotation"));
+                }
+                self.bump();
+                continue;
+            }
+            break;
+        }
+        self.expect_keyword("class")?;
+        let name = self.expect_ident()?;
+        self.expect_sym("{")?;
+        let mut class = ClassDef::new(name);
+        while !self.check_sym("}") {
+            if self.check_spec_open() {
+                self.class_spec_block(&mut class)?;
+            } else {
+                self.member(&mut class)?;
+            }
+        }
+        self.expect_sym("}")?;
+        Ok(class)
+    }
+
+    /// A class-level specification block: specvar declarations, vardefs, invariants.
+    fn class_spec_block(&mut self, class: &mut ClassDef) -> Result<(), SourceError> {
+        self.bump(); // SpecOpen
+        while !self.check_spec_close() {
+            if self.at_end() {
+                return Err(self.error("unterminated specification block"));
+            }
+            self.class_spec_item(class)?;
+        }
+        self.bump(); // SpecClose
+        Ok(())
+    }
+
+    fn class_spec_item(&mut self, class: &mut ClassDef) -> Result<(), SourceError> {
+        let mut is_public = false;
+        let mut is_static = false;
+        let mut is_ghost = false;
+        loop {
+            if self.eat_keyword("public") {
+                is_public = true;
+            } else if self.eat_keyword("private") {
+                is_public = false;
+            } else if self.eat_keyword("static") {
+                is_static = true;
+            } else if self.eat_keyword("ghost") {
+                is_ghost = true;
+            } else {
+                break;
+            }
+        }
+        if self.eat_keyword("specvar") {
+            let name = self.expect_ident()?;
+            self.expect_sym("::")?;
+            let declared = self.spec_type()?;
+            // Optional initial value (recorded by Jahob as the variable's value at
+            // allocation; the programmatic model initialises ghost state in constructors
+            // instead, so the text is accepted and dropped).
+            if self.eat_sym("=") {
+                let _ = self.expect_string()?;
+            }
+            let _ = self.eat_sym(";");
+            let ty = if is_static {
+                declared
+            } else {
+                Type::fun(Type::Obj, declared)
+            };
+            class.spec_vars.push(SpecVarDef {
+                name,
+                ty,
+                kind: if is_ghost {
+                    SpecVarKind::Ghost
+                } else {
+                    // The definition is attached by a later `vardefs` item.
+                    SpecVarKind::Ghost
+                },
+                is_public,
+                is_static,
+            });
+            return Ok(());
+        }
+        if self.eat_keyword("vardefs") {
+            let line = self.line();
+            let text = self.expect_string()?;
+            let _ = self.eat_sym(";");
+            let Some((name, definition)) = text.split_once("==") else {
+                return Err(SourceError {
+                    line,
+                    message: format!("vardefs entry {text:?} must have the form \"name == definition\""),
+                });
+            };
+            let name = name.trim();
+            let definition = jahob_logic::parse_form(definition.trim()).map_err(|e| SourceError {
+                line,
+                message: format!("vardefs definition error: {e}"),
+            })?;
+            let Some(var) = class.spec_vars.iter_mut().find(|v| v.name == name) else {
+                return Err(SourceError {
+                    line,
+                    message: format!("vardefs for undeclared specification variable {name}"),
+                });
+            };
+            var.kind = SpecVarKind::Defined(definition);
+            return Ok(());
+        }
+        if self.eat_keyword("invariant") {
+            let name = self.expect_ident()?;
+            self.expect_sym(":")?;
+            let form = self.formula()?;
+            let _ = self.eat_sym(";");
+            class.invariants.push(Invariant {
+                name,
+                form,
+                is_public,
+            });
+            return Ok(());
+        }
+        Err(self.error(format!(
+            "expected a specification item (specvar, vardefs, invariant), found {}",
+            self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+        )))
+    }
+
+    // ------------------------------------------------------------------ members
+
+    fn member(&mut self, class: &mut ClassDef) -> Result<(), SourceError> {
+        let mut is_public = false;
+        let mut is_static = false;
+        loop {
+            if self.eat_keyword("public") {
+                is_public = true;
+            } else if self.eat_keyword("private") {
+                is_public = false;
+            } else if self.eat_keyword("static") {
+                is_static = true;
+            } else if self.eat_keyword("final") {
+                continue;
+            } else {
+                break;
+            }
+        }
+        let is_void = self.check_keyword("void");
+        let ty = if is_void {
+            self.bump();
+            None
+        } else {
+            Some(self.java_type()?)
+        };
+        let name = self.expect_ident()?;
+        if self.check_sym("(") {
+            let method = self.method(name, is_public, is_static, ty)?;
+            class.methods.push(method);
+        } else {
+            self.expect_sym(";")?;
+            let ty = ty.ok_or_else(|| self.error("fields cannot have type void"))?;
+            class.fields.push(FieldDef {
+                name,
+                ty,
+                is_static,
+            });
+        }
+        Ok(())
+    }
+
+    fn java_type(&mut self) -> Result<JavaType, SourceError> {
+        let name = self.expect_ident()?;
+        let base = match name.as_str() {
+            "int" => JavaType::Int,
+            "boolean" => JavaType::Bool,
+            other => JavaType::Ref(other.to_string()),
+        };
+        if self.check_sym("[") && self.peek_at(1) == Some(&Token::Sym("]")) {
+            self.bump();
+            self.bump();
+            return Ok(JavaType::ObjArray);
+        }
+        Ok(base)
+    }
+
+    fn method(
+        &mut self,
+        name: String,
+        is_public: bool,
+        is_static: bool,
+        return_type: Option<JavaType>,
+    ) -> Result<MethodDef, SourceError> {
+        self.expect_sym("(")?;
+        let mut params = Vec::new();
+        while !self.check_sym(")") {
+            if !params.is_empty() {
+                self.expect_sym(",")?;
+            }
+            let ty = self.java_type()?;
+            let pname = self.expect_ident()?;
+            params.push((pname, ty));
+        }
+        self.expect_sym(")")?;
+        let contract = if self.check_spec_open() {
+            self.contract()?
+        } else {
+            Contract::default()
+        };
+        self.locals = params.iter().map(|(p, _)| p.clone()).collect();
+        self.locals.insert("this".to_string());
+        let body = self.block()?;
+        self.locals.clear();
+        Ok(MethodDef {
+            name,
+            is_public,
+            is_static,
+            params,
+            return_type,
+            contract,
+            body,
+        })
+    }
+
+    fn contract(&mut self) -> Result<Contract, SourceError> {
+        self.bump(); // SpecOpen
+        let mut contract = Contract::default();
+        while !self.check_spec_close() {
+            if self.eat_keyword("requires") {
+                contract.requires = self.formula()?;
+            } else if self.eat_keyword("ensures") {
+                contract.ensures = self.formula()?;
+            } else if self.eat_keyword("modifies") {
+                loop {
+                    contract.modifies.push(self.expect_ident()?);
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+            } else {
+                return Err(self.error(format!(
+                    "expected requires/modifies/ensures, found {}",
+                    self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                )));
+            }
+        }
+        self.bump(); // SpecClose
+        Ok(contract)
+    }
+
+    // ------------------------------------------------------------------ statements
+
+    fn block(&mut self) -> Result<Vec<Stmt>, SourceError> {
+        self.expect_sym("{")?;
+        let mut out = Vec::new();
+        while !self.check_sym("}") {
+            if self.at_end() {
+                return Err(self.error("unterminated block"));
+            }
+            out.extend(self.statement()?);
+        }
+        self.expect_sym("}")?;
+        Ok(out)
+    }
+
+    fn statement(&mut self) -> Result<Vec<Stmt>, SourceError> {
+        if self.check_spec_open() {
+            return self.spec_statements();
+        }
+        if self.eat_keyword("if") {
+            self.expect_sym("(")?;
+            let cond = self.expr()?;
+            self.expect_sym(")")?;
+            let then_branch = self.block()?;
+            let else_branch = if self.eat_keyword("else") {
+                self.block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(vec![Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            }]);
+        }
+        if self.eat_keyword("while") {
+            let invariant = if self.check_spec_open() {
+                self.bump();
+                self.expect_keyword("inv")
+                    .or_else(|_| self.expect_keyword("invariant"))?;
+                let form = self.formula()?;
+                if !self.check_spec_close() {
+                    return Err(self.error("expected `*/` after the loop invariant"));
+                }
+                self.bump();
+                form
+            } else {
+                Form::tt()
+            };
+            self.expect_sym("(")?;
+            let cond = self.expr()?;
+            self.expect_sym(")")?;
+            let body = self.block()?;
+            return Ok(vec![Stmt::While {
+                invariant,
+                cond,
+                body,
+            }]);
+        }
+        if self.eat_keyword("return") {
+            let value = if self.check_sym(";") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_sym(";")?;
+            return Ok(vec![Stmt::Return(value)]);
+        }
+        // Local declaration: `Type name [= init];` — recognised by the Ident Ident
+        // pattern (or a builtin type keyword followed by an identifier).
+        if self.is_local_declaration() {
+            let ty = self.java_type()?;
+            let name = self.expect_ident()?;
+            self.locals.insert(name.clone());
+            let mut out = Vec::new();
+            if self.eat_sym("=") {
+                if self.check_keyword("new") {
+                    out.push(Stmt::Local {
+                        name: name.clone(),
+                        ty,
+                        init: None,
+                    });
+                    out.push(self.allocation(Lvalue::Local(name))?);
+                } else {
+                    let init = self.expr()?;
+                    out.push(Stmt::Local {
+                        name,
+                        ty,
+                        init: Some(init),
+                    });
+                }
+            } else {
+                out.push(Stmt::Local {
+                    name,
+                    ty,
+                    init: None,
+                });
+            }
+            self.expect_sym(";")?;
+            return Ok(out);
+        }
+        // Assignment.
+        let target = self.expr()?;
+        let lvalue = self.as_lvalue(target)?;
+        self.expect_sym("=")?;
+        let stmt = if self.check_keyword("new") {
+            self.allocation(lvalue)?
+        } else {
+            Stmt::Assign(lvalue, self.expr()?)
+        };
+        self.expect_sym(";")?;
+        Ok(vec![stmt])
+    }
+
+    fn is_local_declaration(&self) -> bool {
+        let first_is_type = matches!(
+            self.peek(),
+            Some(Token::Ident(s)) if s == "int" || s == "boolean" || !self.locals.contains(s)
+        );
+        if !first_is_type {
+            return false;
+        }
+        match (self.peek_at(1), self.peek_at(2), self.peek_at(3)) {
+            // `Type name ...`
+            (Some(Token::Ident(_)), _, _) => true,
+            // `Object[] name ...`
+            (Some(Token::Sym("[")), Some(Token::Sym("]")), Some(Token::Ident(_))) => true,
+            _ => false,
+        }
+    }
+
+    fn allocation(&mut self, target: Lvalue) -> Result<Stmt, SourceError> {
+        self.expect_keyword("new")?;
+        let class = self.expect_ident()?;
+        if self.check_sym("[") {
+            self.bump();
+            let length = self.expr()?;
+            self.expect_sym("]")?;
+            return Ok(Stmt::NewArray { target, length });
+        }
+        self.expect_sym("(")?;
+        self.expect_sym(")")?;
+        Ok(Stmt::New { target, class })
+    }
+
+    fn as_lvalue(&self, e: Expr) -> Result<Lvalue, SourceError> {
+        match e {
+            Expr::Local(x) => Ok(Lvalue::Local(x)),
+            Expr::Static(x) => Ok(Lvalue::Static(x)),
+            Expr::Field(obj, f) => Ok(Lvalue::Field(*obj, f)),
+            Expr::ArrayElem(a, i) => Ok(Lvalue::ArrayElem(*a, *i)),
+            other => Err(self.error(format!("{other:?} is not assignable"))),
+        }
+    }
+
+    /// One specification comment inside a method body; it may contain several
+    /// specification statements.
+    fn spec_statements(&mut self) -> Result<Vec<Stmt>, SourceError> {
+        self.bump(); // SpecOpen
+        let mut out = Vec::new();
+        while !self.check_spec_close() {
+            if self.at_end() {
+                return Err(self.error("unterminated specification comment"));
+            }
+            out.push(self.spec_statement()?);
+        }
+        self.bump(); // SpecClose
+        Ok(out)
+    }
+
+    fn spec_statement(&mut self) -> Result<Stmt, SourceError> {
+        if self.eat_keyword("assert") {
+            let (label, form, hints) = self.labelled_formula_with_hints()?;
+            return Ok(Stmt::SpecAssert { label, form, hints });
+        }
+        if self.eat_keyword("assume") {
+            let (label, form, _) = self.labelled_formula_with_hints()?;
+            return Ok(Stmt::SpecAssume { label, form });
+        }
+        if self.eat_keyword("note") {
+            let (label, form, hints) = self.labelled_formula_with_hints()?;
+            return Ok(Stmt::SpecNote { label, form, hints });
+        }
+        if self.eat_keyword("havoc") {
+            let mut vars = vec![self.expect_ident()?];
+            while self.eat_sym(",") {
+                vars.push(self.expect_ident()?);
+            }
+            let such_that = if self.eat_keyword("suchThat") {
+                Some(self.formula()?)
+            } else {
+                None
+            };
+            let _ = self.eat_sym(";");
+            return Ok(Stmt::SpecHavoc { vars, such_that });
+        }
+        // Ghost assignment `target := "formula"` or `receiver..field := "formula"`.
+        let first = self.expect_ident()?;
+        let (receiver, target) = if self.eat_sym(".") {
+            self.expect_sym(".").ok();
+            (Some(self.resolve_ident(&first)), self.expect_ident()?)
+        } else {
+            (None, first)
+        };
+        self.expect_sym(":=")?;
+        let value = self.formula()?;
+        let _ = self.eat_sym(";");
+        Ok(Stmt::GhostAssign {
+            target,
+            receiver,
+            value,
+        })
+    }
+
+    fn labelled_formula_with_hints(
+        &mut self,
+    ) -> Result<(Option<String>, Form, Vec<String>), SourceError> {
+        // Optional `label:` before the quoted formula.
+        let label = match (self.peek(), self.peek_at(1)) {
+            (Some(Token::Ident(l)), Some(Token::Sym(":"))) => {
+                let l = l.clone();
+                self.bump();
+                self.bump();
+                Some(l)
+            }
+            _ => None,
+        };
+        let form = self.formula()?;
+        let mut hints = Vec::new();
+        if self.eat_keyword("by") {
+            hints.push(self.expect_ident()?);
+            while self.eat_sym(",") {
+                hints.push(self.expect_ident()?);
+            }
+        }
+        let _ = self.eat_sym(";");
+        Ok((label, form, hints))
+    }
+
+    // ------------------------------------------------------------------ expressions
+
+    fn resolve_ident(&self, name: &str) -> Expr {
+        if self.locals.contains(name) {
+            Expr::Local(name.to_string())
+        } else {
+            Expr::Static(name.to_string())
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, SourceError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, SourceError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_sym("||") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SourceError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat_sym("&&") {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, SourceError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Sym(s @ ("==" | "!=" | "<" | "<=" | ">" | ">="))) => *s,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(match op {
+            "==" => Expr::Eq(Box::new(lhs), Box::new(rhs)),
+            "!=" => Expr::Neq(Box::new(lhs), Box::new(rhs)),
+            "<" => Expr::Lt(Box::new(lhs), Box::new(rhs)),
+            "<=" => Expr::Le(Box::new(lhs), Box::new(rhs)),
+            ">" => Expr::Lt(Box::new(rhs), Box::new(lhs)),
+            _ => Expr::Le(Box::new(rhs), Box::new(lhs)),
+        })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, SourceError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            if self.eat_sym("+") {
+                lhs = Expr::Plus(Box::new(lhs), Box::new(self.mul_expr()?));
+            } else if self.eat_sym("-") {
+                lhs = Expr::Minus(Box::new(lhs), Box::new(self.mul_expr()?));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, SourceError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            if self.eat_sym("*") {
+                lhs = Expr::Times(Box::new(lhs), Box::new(self.unary_expr()?));
+            } else if self.eat_sym("/") {
+                lhs = Expr::Div(Box::new(lhs), Box::new(self.unary_expr()?));
+            } else if self.eat_sym("%") {
+                lhs = Expr::Mod(Box::new(lhs), Box::new(self.unary_expr()?));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, SourceError> {
+        if self.eat_sym("!") {
+            return Ok(Expr::Not(Box::new(self.unary_expr()?)));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, SourceError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            if self.check_sym(".") {
+                self.bump();
+                let field = self.expect_ident()?;
+                if field == "length" {
+                    e = Expr::ArrayLength(Box::new(e));
+                } else {
+                    e = Expr::Field(Box::new(e), field);
+                }
+            } else if self.check_sym("[") {
+                self.bump();
+                let index = self.expr()?;
+                self.expect_sym("]")?;
+                e = Expr::ArrayElem(Box::new(e), Box::new(index));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, SourceError> {
+        match self.bump() {
+            Some(Token::Int(n)) => Ok(Expr::IntLit(n)),
+            Some(Token::Ident(s)) => match s.as_str() {
+                "null" => Ok(Expr::Null),
+                "true" => Ok(Expr::BoolLit(true)),
+                "false" => Ok(Expr::BoolLit(false)),
+                _ => Ok(self.resolve_ident(&s)),
+            },
+            Some(Token::Sym("(")) => {
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            other => Err(self.error(format!(
+                "expected an expression, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIZED_LIST: &str = r#"
+        public class List {
+            private List next;
+            private Object data;
+            private static List root;
+            private static int size;
+
+            /*: private static ghost specvar nodes :: "obj set" = "{}";
+                public static ghost specvar content :: "obj set" = "{}";
+                invariant sizeInv: "size = card content";
+                invariant rootNodes: "root = null | root : nodes"; */
+
+            public static void addNew(Object x)
+            /*: requires "comment ''xFresh'' (x ~: content) & x ~= null"
+                modifies content
+                ensures "content = old content Un {x}" */
+            {
+                List n1 = new List();
+                n1.next = root;
+                n1.data = x;
+                root = n1;
+                size = size + 1;
+                //: nodes := "{n1} Un nodes";
+                //: content := "{x} Un content";
+                //: note sizeStep: "size = old size + 1 & content = old content Un {x}";
+            }
+
+            public static boolean isEmpty()
+            /*: ensures "(result = True) = (card content = 0)" */
+            {
+                return size == 0;
+            }
+        }
+    "#;
+
+    #[test]
+    fn parses_the_sized_list_of_figure_6() {
+        let program = parse_program(SIZED_LIST).expect("parse");
+        assert_eq!(program.classes.len(), 1);
+        let list = &program.classes[0];
+        assert_eq!(list.name, "List");
+        assert_eq!(list.fields.len(), 4);
+        assert_eq!(list.spec_vars.len(), 2);
+        assert_eq!(list.invariants.len(), 2);
+        assert_eq!(list.methods.len(), 2);
+        let add = &list.methods[0];
+        assert_eq!(add.name, "addNew");
+        assert!(add.is_static && add.is_public);
+        assert_eq!(add.contract.modifies, vec!["content".to_string()]);
+        // Body: local, new, two field writes, two static writes, two ghost assignments,
+        // one note.
+        assert!(add.body.len() >= 8);
+        assert!(add
+            .body
+            .iter()
+            .any(|s| matches!(s, Stmt::GhostAssign { target, .. } if target == "content")));
+        assert!(add
+            .body
+            .iter()
+            .any(|s| matches!(s, Stmt::SpecNote { label: Some(l), .. } if l == "sizeStep")));
+    }
+
+    #[test]
+    fn parsed_program_produces_obligations() {
+        let program = parse_program(SIZED_LIST).expect("parse");
+        let tasks = crate::program_tasks(&program);
+        assert_eq!(tasks.len(), 2);
+        for task in &tasks {
+            assert!(!task.obligations().is_empty());
+        }
+    }
+
+    #[test]
+    fn parses_defined_specvars_via_vardefs() {
+        let src = r#"
+            class Registry {
+                private static Object first;
+                /*: public static ghost specvar nodes :: "obj set";
+                    public static specvar nonempty :: "bool";
+                    vardefs "nonempty == nodes ~= {}"; */
+                public static void touch()
+                /*: ensures "True" */
+                { return; }
+            }
+        "#;
+        let program = parse_program(src).expect("parse");
+        let class = &program.classes[0];
+        let nonempty = class.spec_vars.iter().find(|v| v.name == "nonempty").unwrap();
+        assert!(matches!(nonempty.kind, SpecVarKind::Defined(_)));
+    }
+
+    #[test]
+    fn parses_control_flow_arrays_and_loop_invariants() {
+        let src = r#"
+            class Buffer {
+                private static Object[] elems;
+                private static int count;
+                /*: invariant countNonNeg: "0 <= count"; */
+                public static void compactTo(int n)
+                /*: requires "0 <= n & n <= count" modifies count ensures "count = n" */
+                {
+                    while /*: inv "n <= count" */ (n < count) {
+                        count = count - 1;
+                    }
+                    if (count > n) {
+                        count = n;
+                    } else {
+                        elems[0] = null;
+                    }
+                }
+            }
+        "#;
+        let program = parse_program(src).expect("parse");
+        let body = &program.classes[0].methods[0].body;
+        assert!(body.iter().any(|s| matches!(s, Stmt::While { .. })));
+        assert!(body.iter().any(|s| matches!(s, Stmt::If { .. })));
+        let task = &crate::program_tasks(&program)[0];
+        let labels: Vec<String> = task
+            .obligations()
+            .iter()
+            .flat_map(|o| o.sequent.labels.clone())
+            .collect();
+        assert!(labels.iter().any(|l| l == "loop_inv_initial"));
+        assert!(labels.iter().any(|l| l == "bounds_check"));
+    }
+
+    #[test]
+    fn claimedby_annotations_are_accepted() {
+        let src = r#"
+            public /*: claimedby AssocList */ class Node {
+                public Object key;
+                public Node next;
+            }
+        "#;
+        let program = parse_program(src).expect("parse");
+        assert_eq!(program.classes[0].fields.len(), 2);
+    }
+
+    #[test]
+    fn reports_errors_with_line_numbers() {
+        let missing_brace = "class A {\n int x;\n";
+        let err = parse_program(missing_brace).unwrap_err();
+        assert!(err.line >= 2);
+
+        let bad_formula = "class A {\n /*: invariant i: \"x ==== y\"; */\n}";
+        let err = parse_program(bad_formula).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("formula"));
+
+        let vardefs_without_decl =
+            "class A {\n /*: vardefs \"ghostless == {}\"; */\n}";
+        assert!(parse_program(vardefs_without_decl).is_err());
+    }
+
+    #[test]
+    fn greater_than_flips_to_less_than() {
+        let src = r#"
+            class C {
+                private static int n;
+                public static boolean positive()
+                /*: ensures "True" */
+                { return n > 0; }
+            }
+        "#;
+        let program = parse_program(src).expect("parse");
+        let body = &program.classes[0].methods[0].body;
+        assert!(matches!(
+            &body[0],
+            Stmt::Return(Some(Expr::Lt(a, b)))
+                if matches!(**a, Expr::IntLit(0)) && matches!(**b, Expr::Static(_))
+        ));
+    }
+}

@@ -1,0 +1,336 @@
+//! Canonicalisation and definitional inlining.
+//!
+//! The verification-condition generator introduces many intermediate variables: the
+//! desugaring of assignments produces `asg$N` temporaries (Figure 11), allocation
+//! produces `fresh$N` witnesses, the pre-state snapshot produces `old$x` copies, and the
+//! splitter renames havocked variables to `x_1`, `x_2`, ... (Figure 13). Before a sequent
+//! reaches a prover, Jahob "applies rewrite rules that substitute definitions of values,
+//! perform beta reduction, and flatten expressions" (§5.3). This module implements that
+//! preprocessing step:
+//!
+//! * [`definition_substitution`] / [`inline_definitions`] collapse the definitional
+//!   equations of generated variables, so `content_1 = asg$3`, `asg$3 = {x} Un content`
+//!   contribute a single binding `content_1 ↦ {x} Un content`;
+//! * [`sort_commutative`] orders the arguments of commutative operators so that
+//!   AC-equal formulas (`{x} Un content` vs `content Un {x}`) become syntactically equal;
+//! * [`canonicalize`] combines comment stripping, membership expansion, simplification
+//!   and AC sorting — the "simple syntactic transformations that preserve validity" the
+//!   syntactic prover (§6.1) checks modulo.
+
+use crate::form::{Const, Form, Ident};
+use crate::rewrite::expand_set_membership;
+use crate::sequent::Sequent;
+use crate::simplify::{simplify, strip_comments_deep};
+use crate::subst::{free_vars, substitute, Subst};
+
+/// Returns `true` if `name` was introduced by the verification-condition generator rather
+/// than written by the developer: desugaring temporaries and snapshots contain a `$`
+/// (`asg$3`, `fresh$1`, `old$content`), and splitter renamings end in `_<digits>`
+/// (`content_1`).
+///
+/// # Examples
+///
+/// ```
+/// use jahob_logic::norm::is_generated_name;
+/// assert!(is_generated_name("asg$3"));
+/// assert!(is_generated_name("old$content"));
+/// assert!(is_generated_name("content_1"));
+/// assert!(!is_generated_name("content"));
+/// assert!(!is_generated_name("x"));
+/// ```
+pub fn is_generated_name(name: &str) -> bool {
+    if name.contains('$') {
+        return true;
+    }
+    match name.rsplit_once('_') {
+        Some((stem, suffix)) => {
+            !stem.is_empty() && !suffix.is_empty() && suffix.chars().all(|c| c.is_ascii_digit())
+        }
+        None => false,
+    }
+}
+
+/// Collects an acyclic substitution for generated variables from the definitional
+/// equalities among `assumptions`: every (comment-stripped) conjunct of the form `v = t`
+/// or `t = v` with `v` a generated variable not occurring in `t` contributes a binding.
+/// Chains are resolved (`v ↦ t` where `t` mentions another bound variable is rewritten),
+/// and bindings that would become cyclic are left unresolved.
+pub fn definition_substitution(assumptions: &[Form]) -> Subst {
+    let mut map: Subst = Subst::new();
+    for a in assumptions {
+        let stripped = strip_comments_deep(a);
+        for c in stripped.conjuncts() {
+            // Definitional links are either equalities `v = t` or (for boolean-valued
+            // temporaries, e.g. `result` of a boolean method) bi-implications `v <-> F`.
+            let link = c.as_eq().or_else(|| {
+                c.as_app_of(&Const::Iff)
+                    .and_then(|args| match args {
+                        [l, r] => Some((l, r)),
+                        _ => None,
+                    })
+            });
+            let Some((l, r)) = link else { continue };
+            for (lhs, rhs) in [(l, r), (r, l)] {
+                let Form::Var(v) = lhs else { continue };
+                if !is_generated_name(v) || map.contains_key(v) {
+                    continue;
+                }
+                if free_vars(rhs).contains(v) {
+                    continue;
+                }
+                map.insert(v.clone(), rhs.clone());
+                break;
+            }
+        }
+    }
+    // Resolve chains: rewrite every binding by the whole map until nothing changes (the
+    // iteration count is bounded by the number of bindings, so this terminates even if a
+    // cyclic pair slipped in — cyclic rewrites are simply skipped).
+    let names: Vec<Ident> = map.keys().cloned().collect();
+    for _ in 0..names.len() {
+        let mut changed = false;
+        for v in &names {
+            let current = map[v].clone();
+            let next = substitute(&current, &map);
+            if next != current && !free_vars(&next).contains(v) {
+                map.insert(v.clone(), next);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    map
+}
+
+/// Inlines the definitional equalities of generated variables into the whole sequent.
+/// Assumptions that become trivially true under the substitution (the definitional
+/// equations themselves) are dropped; labels are preserved.
+///
+/// The result is equivalent to the input sequent: every substituted occurrence is
+/// justified by one of the assumptions.
+///
+/// # Examples
+///
+/// ```
+/// use jahob_logic::{norm::inline_definitions, parse_form, Sequent};
+/// let sequent = Sequent::new(
+///     vec![
+///         parse_form("asg$1 = {x} Un content").unwrap(),
+///         parse_form("content_1 = asg$1").unwrap(),
+///     ],
+///     parse_form("content_1 = content Un {x}").unwrap(),
+/// );
+/// let inlined = inline_definitions(&sequent);
+/// assert_eq!(inlined.goal.to_string(), "{x} Un content = content Un {x}");
+/// assert!(inlined.assumptions.is_empty());
+/// ```
+pub fn inline_definitions(sequent: &Sequent) -> Sequent {
+    let sub = definition_substitution(&sequent.assumptions);
+    if sub.is_empty() {
+        return sequent.clone();
+    }
+    let mut assumptions = Vec::new();
+    for a in &sequent.assumptions {
+        let inlined = simplify(&substitute(a, &sub));
+        if inlined.is_true() {
+            continue;
+        }
+        assumptions.push(inlined);
+    }
+    Sequent {
+        assumptions,
+        goal: simplify(&substitute(&sequent.goal, &sub)),
+        labels: sequent.labels.clone(),
+    }
+}
+
+/// Sorts the arguments of commutative operators into a canonical order and flattens
+/// chains of the same associative-commutative operator, so that AC-equal formulas become
+/// structurally equal. The result is logically equivalent to the input.
+///
+/// Handled operators: `&`, `|` (sorted, duplicates removed), `=` and `<->` (operands
+/// ordered), `Un`, `Int`, `+`, `*` (chains flattened, leaves sorted, rebuilt
+/// left-nested).
+pub fn sort_commutative(form: &Form) -> Form {
+    match form {
+        Form::Var(_) | Form::Const(_) => form.clone(),
+        Form::Typed(f, t) => Form::Typed(Box::new(sort_commutative(f)), t.clone()),
+        Form::Binder(b, vars, body) => {
+            Form::Binder(*b, vars.clone(), Box::new(sort_commutative(body)))
+        }
+        Form::App(fun, args) => {
+            let fun = sort_commutative(fun);
+            let args: Vec<Form> = args.iter().map(sort_commutative).collect();
+            if let Form::Const(c) = &fun {
+                match c {
+                    Const::And | Const::Or => {
+                        let mut parts: Vec<Form> = Vec::new();
+                        for a in &args {
+                            let leaves = if *c == Const::And {
+                                a.conjuncts().into_iter().cloned().collect::<Vec<_>>()
+                            } else {
+                                a.disjuncts().into_iter().cloned().collect::<Vec<_>>()
+                            };
+                            parts.extend(leaves);
+                        }
+                        parts.sort();
+                        parts.dedup();
+                        return if *c == Const::And {
+                            Form::and(parts)
+                        } else {
+                            Form::or(parts)
+                        };
+                    }
+                    Const::Eq | Const::Iff if args.len() == 2 => {
+                        let mut args = args;
+                        if args[0] > args[1] {
+                            args.swap(0, 1);
+                        }
+                        return Form::app(fun, args);
+                    }
+                    Const::Union | Const::Inter | Const::Plus | Const::Times
+                        if args.len() == 2 =>
+                    {
+                        let mut leaves = Vec::new();
+                        for a in &args {
+                            collect_ac_leaves(c, a, &mut leaves);
+                        }
+                        leaves.sort();
+                        let mut iter = leaves.into_iter();
+                        let first = iter.next().expect("binary operator has arguments");
+                        return iter.fold(first, |acc, next| {
+                            Form::app(Form::Const(c.clone()), vec![acc, next])
+                        });
+                    }
+                    _ => {}
+                }
+            }
+            Form::App(Box::new(fun), args)
+        }
+    }
+}
+
+fn collect_ac_leaves(op: &Const, form: &Form, out: &mut Vec<Form>) {
+    if let Some(parts) = form.as_app_of(op) {
+        if parts.len() == 2 {
+            for p in parts {
+                collect_ac_leaves(op, p, out);
+            }
+            return;
+        }
+    }
+    out.push(form.clone());
+}
+
+/// Canonicalises a formula for syntactic comparison: strips comments, expands membership
+/// in set-algebraic expressions, simplifies, sorts commutative operators, and simplifies
+/// again (so equalities whose operands became identical collapse to `True`).
+pub fn canonicalize(form: &Form) -> Form {
+    let f = strip_comments_deep(form);
+    let f = expand_set_membership(&f);
+    let f = simplify(&f);
+    let f = sort_commutative(&f);
+    simplify(&f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_form;
+
+    fn p(s: &str) -> Form {
+        parse_form(s).expect("parse")
+    }
+
+    #[test]
+    fn generated_name_recognition() {
+        for name in ["asg$1", "fresh$12", "old$content", "content_1", "n_23", "arrayState_2"] {
+            assert!(is_generated_name(name), "{name} should be generated");
+        }
+        for name in ["content", "x", "first", "old", "size2", "_1", "a_b"] {
+            assert!(!is_generated_name(name), "{name} should not be generated");
+        }
+    }
+
+    #[test]
+    fn substitution_collapses_chains() {
+        let assumptions = vec![p("asg$1 = {}"), p("nodes_1 = asg$1"), p("old$first = first")];
+        let sub = definition_substitution(&assumptions);
+        assert_eq!(sub.get("nodes_1"), Some(&p("{}")));
+        assert_eq!(sub.get("asg$1"), Some(&p("{}")));
+        assert_eq!(sub.get("old$first"), Some(&p("first")));
+    }
+
+    #[test]
+    fn substitution_ignores_developer_variables_and_cycles() {
+        let assumptions = vec![p("size = card content"), p("a_1 = b_1"), p("b_1 = a_1")];
+        let sub = definition_substitution(&assumptions);
+        assert!(!sub.contains_key("size"));
+        // The pair is mutually defined; both orientations are recorded but the cyclic
+        // resolution is skipped, so applying the substitution once is still sound.
+        assert!(sub.contains_key("a_1") || sub.contains_key("b_1"));
+    }
+
+    #[test]
+    fn inline_definitions_discharges_copy_chains() {
+        let sequent = Sequent::new(
+            vec![p("asg$1 = null"), p("first_1 = asg$1"), p("p | q")],
+            p("first_1 = null"),
+        );
+        let inlined = inline_definitions(&sequent);
+        assert!(inlined.goal.is_true());
+        assert_eq!(inlined.assumptions, vec![p("p | q")]);
+    }
+
+    #[test]
+    fn inline_keeps_labels_and_non_trivial_assumptions() {
+        let mut sequent = Sequent::new(
+            vec![p("comment ''inv'' (size = card content)"), p("size_1 = size + 1")],
+            p("size_1 = card content + 1"),
+        );
+        sequent.labels = vec!["post".to_string()];
+        let inlined = inline_definitions(&sequent);
+        assert_eq!(inlined.labels, vec!["post".to_string()]);
+        assert_eq!(inlined.goal, p("size + 1 = card content + 1"));
+        assert!(inlined
+            .assumptions
+            .iter()
+            .any(|a| a.to_string().contains("card content")));
+    }
+
+    #[test]
+    fn sorts_union_and_conjunction_operands() {
+        assert_eq!(
+            sort_commutative(&p("{x} Un content")),
+            sort_commutative(&p("content Un {x}"))
+        );
+        assert_eq!(
+            sort_commutative(&p("(a Un b) Un c")),
+            sort_commutative(&p("c Un (b Un a)"))
+        );
+        assert_eq!(sort_commutative(&p("p & q & p")), sort_commutative(&p("q & p")));
+        assert_eq!(sort_commutative(&p("a = b")), sort_commutative(&p("b = a")));
+    }
+
+    #[test]
+    fn sorting_preserves_non_commutative_operators() {
+        assert_ne!(sort_commutative(&p("a - b")), sort_commutative(&p("b - a")));
+        assert_ne!(sort_commutative(&p("a --> b")), sort_commutative(&p("b --> a")));
+    }
+
+    #[test]
+    fn canonicalize_identifies_ac_equal_set_updates() {
+        let a = canonicalize(&p("{x} Un content = content Un {x}"));
+        assert!(a.is_true());
+        let b = canonicalize(&p("n : {n} Un nodes"));
+        assert!(b.is_true());
+    }
+
+    #[test]
+    fn canonicalize_does_not_prove_distinct_formulas() {
+        assert!(!canonicalize(&p("{x} Un content = content Un {y}")).is_true());
+        assert!(!canonicalize(&p("a : b Un c")).is_true());
+    }
+}

@@ -1,0 +1,388 @@
+//! Rewrites used by formula approximation (§5.3).
+//!
+//! Before handing a sequent to a specialised prover, Jahob rewrites it: definitions of
+//! specification variables are substituted, beta reduction is applied, equalities over
+//! complex types (sets, functions, tuples) are expanded into first-order form, and set
+//! operations are expressed with quantification. This module provides those rewrites in a
+//! prover-independent form; the per-prover interfaces in `jahob-provers` choose which ones
+//! to apply.
+
+use crate::form::{Binder, Const, Form, Ident};
+use crate::subst::{beta_reduce, fresh_name, free_vars, substitute, Subst};
+use crate::types::Type;
+use std::collections::BTreeMap;
+
+/// Applies a bottom-up rewriting function until the formula no longer changes (with an
+/// iteration bound to guarantee termination on non-confluent rewrite functions).
+pub fn rewrite_fixpoint(form: &Form, rewrite: &dyn Fn(&Form) -> Option<Form>) -> Form {
+    let mut current = form.clone();
+    for _ in 0..64 {
+        let next = rewrite_bottom_up(&current, rewrite);
+        if next == current {
+            return next;
+        }
+        current = next;
+    }
+    current
+}
+
+/// One bottom-up pass of a rewriting function over the formula.
+pub fn rewrite_bottom_up(form: &Form, rewrite: &dyn Fn(&Form) -> Option<Form>) -> Form {
+    let rebuilt = match form {
+        Form::Var(_) | Form::Const(_) => form.clone(),
+        Form::Typed(f, t) => Form::Typed(Box::new(rewrite_bottom_up(f, rewrite)), t.clone()),
+        Form::Binder(b, vars, body) => Form::Binder(
+            *b,
+            vars.clone(),
+            Box::new(rewrite_bottom_up(body, rewrite)),
+        ),
+        Form::App(f, args) => Form::app(
+            rewrite_bottom_up(f, rewrite),
+            args.iter().map(|a| rewrite_bottom_up(a, rewrite)).collect(),
+        ),
+    };
+    rewrite(&rebuilt).unwrap_or(rebuilt)
+}
+
+/// Substitutes the definitions of *defined* specification variables (§3.2). Definitions
+/// must be acyclic; the function repeatedly substitutes until no defined variable remains
+/// (bounded by the number of definitions).
+pub fn unfold_definitions(form: &Form, defs: &BTreeMap<Ident, Form>) -> Form {
+    if defs.is_empty() {
+        return form.clone();
+    }
+    let sub: Subst = defs.clone();
+    let mut current = form.clone();
+    for _ in 0..=defs.len() {
+        let fv = free_vars(&current);
+        if !fv.iter().any(|v| defs.contains_key(v)) {
+            break;
+        }
+        current = beta_reduce(&substitute(&current, &sub));
+    }
+    current
+}
+
+/// Expands membership in set-algebraic expressions into propositional structure:
+///
+/// * `x : A Un B`   becomes `x : A | x : B`
+/// * `x : A Int B`  becomes `x : A & x : B`
+/// * `x : A \ B` and `x : A - B` become `x : A & ~(x : B)`
+/// * `x : {a, b}`   becomes `x = a | x = b`
+/// * `x : {}` / `x : UNIV` become `False` / `True`
+/// * `x : {y. F}`   becomes `F[y := x]` (via beta reduction)
+/// * `x : fieldWrite f y v` style terms are left untouched.
+pub fn expand_set_membership(form: &Form) -> Form {
+    rewrite_fixpoint(&beta_reduce(form), &|f| {
+        let args = f.as_app_of(&Const::Elem)?;
+        let [x, s] = args else { return None };
+        if let Some(parts) = s.as_app_of(&Const::Union) {
+            return Some(Form::or(
+                parts.iter().map(|p| Form::elem(x.clone(), p.clone())).collect(),
+            ));
+        }
+        if let Some(parts) = s.as_app_of(&Const::Inter) {
+            return Some(Form::and(
+                parts.iter().map(|p| Form::elem(x.clone(), p.clone())).collect(),
+            ));
+        }
+        if let Some([a, b]) = s.as_app_of(&Const::Diff).or_else(|| s.as_app_of(&Const::Minus)) {
+            return Some(Form::and(vec![
+                Form::elem(x.clone(), a.clone()),
+                Form::not(Form::elem(x.clone(), b.clone())),
+            ]));
+        }
+        if let Some(elems) = s.as_app_of(&Const::FiniteSet) {
+            return Some(Form::or(
+                elems.iter().map(|e| Form::eq(x.clone(), e.clone())).collect(),
+            ));
+        }
+        if matches!(s, Form::Const(Const::EmptySet)) {
+            return Some(Form::ff());
+        }
+        if matches!(s, Form::Const(Const::UnivSet)) {
+            return Some(Form::tt());
+        }
+        if let Form::Binder(Binder::Comprehension, _, _) = s {
+            // beta_reduce handles well-formed comprehension membership; reaching this
+            // point means the element/tuple arity did not match, so leave it alone.
+            return None;
+        }
+        None
+    })
+}
+
+/// Expands equalities and subset relations over set-typed expressions into universally
+/// quantified membership formulas (extensionality), and tuple equalities into
+/// component-wise equalities. `set_typed` decides whether an expression denotes a set;
+/// callers that have run type inference can supply a precise predicate, while a
+/// syntactic heuristic ([`looks_like_set`]) is adequate for the VC shapes Jahob produces.
+pub fn expand_complex_equalities(form: &Form, set_typed: &dyn Fn(&Form) -> bool) -> Form {
+    rewrite_fixpoint(form, &|f| {
+        if let Some([l, r]) = f.as_app_of(&Const::Eq) {
+            // Tuple equality.
+            if let (Some(ls), Some(rs)) = (l.as_app_of(&Const::Tuple), r.as_app_of(&Const::Tuple)) {
+                if ls.len() == rs.len() {
+                    return Some(Form::and(
+                        ls.iter()
+                            .zip(rs.iter())
+                            .map(|(a, b)| Form::eq(a.clone(), b.clone()))
+                            .collect(),
+                    ));
+                }
+            }
+            // Set extensionality.
+            if set_typed(l) || set_typed(r) {
+                let avoid = free_vars(f);
+                let v = fresh_name("elt", &avoid);
+                return Some(Form::forall(
+                    v.clone(),
+                    Type::Obj,
+                    Form::iff(
+                        Form::elem(Form::var(v.clone()), l.clone()),
+                        Form::elem(Form::var(v), r.clone()),
+                    ),
+                ));
+            }
+        }
+        if let Some([l, r]) = f.as_app_of(&Const::SubsetEq) {
+            let avoid = free_vars(f);
+            let v = fresh_name("elt", &avoid);
+            return Some(Form::forall(
+                v.clone(),
+                Type::Obj,
+                Form::implies(
+                    Form::elem(Form::var(v.clone()), l.clone()),
+                    Form::elem(Form::var(v), r.clone()),
+                ),
+            ));
+        }
+        None
+    })
+}
+
+/// A syntactic heuristic for "this expression denotes a set": set constants, set
+/// operations, comprehensions and variables with conventional set names.
+pub fn looks_like_set(f: &Form) -> bool {
+    match f {
+        Form::Const(Const::EmptySet) | Form::Const(Const::UnivSet) => true,
+        Form::Binder(Binder::Comprehension, _, _) => true,
+        Form::App(fun, _) => matches!(
+            fun.as_ref(),
+            Form::Const(Const::Union)
+                | Form::Const(Const::Inter)
+                | Form::Const(Const::Diff)
+                | Form::Const(Const::FiniteSet)
+        ),
+        Form::Typed(inner, t) => t.is_set() || looks_like_set(inner),
+        _ => false,
+    }
+}
+
+/// Expands applications of function updates: `(fieldWrite f x v) y` becomes
+/// `ite (y = x) v (f y)`, and (after simplification by the caller) the `ite` can be lifted
+/// by [`lift_ite`] for provers without if-then-else.
+pub fn expand_field_write_applications(form: &Form) -> Form {
+    rewrite_fixpoint(form, &|f| {
+        if let Form::App(fun, args) = f {
+            // Applications are kept flattened, so `(fieldWrite f x v) y` appears as
+            // `App(fieldWrite, [f, x, v, y, ...])`.
+            if let Form::Const(Const::FieldWrite) = fun.as_ref() {
+                if args.len() >= 4 {
+                    let (base, at, val, arg) = (&args[0], &args[1], &args[2], &args[3]);
+                    let applied = Form::ite(
+                        Form::eq(arg.clone(), at.clone()),
+                        val.clone(),
+                        Form::app(base.clone(), vec![arg.clone()]),
+                    );
+                    let rest: Vec<Form> = args[4..].to_vec();
+                    return Some(Form::app(applied, rest));
+                }
+            }
+            if let Some(parts) = fun.as_app_of(&Const::FieldWrite) {
+                if parts.len() == 3 && args.len() == 1 {
+                    let (base, at, val) = (&parts[0], &parts[1], &parts[2]);
+                    let arg = &args[0];
+                    return Some(Form::ite(
+                        Form::eq(arg.clone(), at.clone()),
+                        val.clone(),
+                        Form::app(base.clone(), vec![arg.clone()]),
+                    ));
+                }
+            }
+            // arrayRead (arrayWrite st a i v) b j
+            if let Form::Const(Const::ArrayRead) = fun.as_ref() {
+                if args.len() == 3 {
+                    if let Some(w) = args[0].as_app_of(&Const::ArrayWrite) {
+                        if w.len() == 4 {
+                            let (st, a, i, v) = (&w[0], &w[1], &w[2], &w[3]);
+                            let (b, j) = (&args[1], &args[2]);
+                            return Some(Form::ite(
+                                Form::and(vec![
+                                    Form::eq(b.clone(), a.clone()),
+                                    Form::eq(j.clone(), i.clone()),
+                                ]),
+                                v.clone(),
+                                Form::array_read(st.clone(), b.clone(), j.clone()),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    })
+}
+
+/// Lifts `ite` terms appearing under atoms into propositional case splits:
+/// `P(ite c t e)` becomes `(c --> P(t)) & (~c --> P(e))` for atoms `P` (equalities,
+/// comparisons, membership). Runs to a fixpoint so nested `ite`s are fully removed.
+pub fn lift_ite(form: &Form) -> Form {
+    rewrite_fixpoint(form, &|f| {
+        let (c, head_const) = match f {
+            Form::App(fun, _) => match fun.as_ref() {
+                Form::Const(c2 @ (Const::Eq
+                | Const::Lt
+                | Const::LtEq
+                | Const::Gt
+                | Const::GtEq
+                | Const::Elem
+                | Const::SubsetEq)) => (f, c2.clone()),
+                _ => return None,
+            },
+            _ => return None,
+        };
+        let args = c.as_app_of(&head_const)?;
+        for (idx, a) in args.iter().enumerate() {
+            if let Some([cond, then, els]) = a.as_app_of(&Const::Ite) {
+                let mut then_args = args.to_vec();
+                then_args[idx] = then.clone();
+                let mut else_args = args.to_vec();
+                else_args[idx] = els.clone();
+                return Some(Form::and(vec![
+                    Form::implies(
+                        cond.clone(),
+                        Form::app(Form::Const(head_const.clone()), then_args),
+                    ),
+                    Form::implies(
+                        Form::not(cond.clone()),
+                        Form::app(Form::Const(head_const.clone()), else_args),
+                    ),
+                ]));
+            }
+        }
+        None
+    })
+}
+
+/// Replaces every `old e` with `e` after substituting pre-state variable snapshots: each
+/// free variable `v` of `e` that appears in `snapshot` is replaced by its snapshot name.
+/// This is how the VC generator resolves two-state postconditions.
+pub fn resolve_old(form: &Form, snapshot: &BTreeMap<Ident, Ident>) -> Form {
+    rewrite_fixpoint(form, &|f| {
+        let args = f.as_app_of(&Const::Old)?;
+        let [inner] = args else { return None };
+        let mut sub = Subst::new();
+        for v in free_vars(inner) {
+            if let Some(pre) = snapshot.get(&v) {
+                sub.insert(v.clone(), Form::var(pre.clone()));
+            }
+        }
+        Some(substitute(inner, &sub))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_form;
+
+    fn p(s: &str) -> Form {
+        parse_form(s).expect("parse")
+    }
+
+    #[test]
+    fn unfolds_defined_specvars() {
+        let mut defs = BTreeMap::new();
+        defs.insert("content".to_string(), p("cnt first"));
+        defs.insert("inrange".to_string(), p("% i. 0 <= i & i < size"));
+        let f = p("x : content & inrange 3");
+        let g = unfold_definitions(&f, &defs);
+        assert_eq!(g.to_string(), "x : cnt first & 0 <= 3 & 3 < size");
+    }
+
+    #[test]
+    fn unfolds_chained_definitions() {
+        let mut defs = BTreeMap::new();
+        defs.insert("a".to_string(), p("b Un {x}"));
+        defs.insert("b".to_string(), p("c"));
+        let f = p("y : a");
+        assert_eq!(unfold_definitions(&f, &defs).to_string(), "y : c Un {x}");
+    }
+
+    #[test]
+    fn expands_membership_in_set_algebra() {
+        let f = p("x : (a Un b) Int (c - {d})");
+        let g = expand_set_membership(&f);
+        assert_eq!(g.to_string(), "(x : a | x : b) & x : c & ~(x = d)");
+    }
+
+    #[test]
+    fn expands_membership_in_comprehension() {
+        let f = p("z : {n. n ~= null & n : nodes}");
+        let g = expand_set_membership(&f);
+        assert_eq!(g.to_string(), "~(z = null) & z : nodes");
+    }
+
+    #[test]
+    fn expands_set_equality_to_extensionality() {
+        let f = p("content = old_content Un {x}");
+        let g = expand_complex_equalities(&f, &looks_like_set);
+        assert!(g.to_string().starts_with("ALL elt."));
+        assert!(g.contains_const(&Const::Iff));
+    }
+
+    #[test]
+    fn expands_tuple_equality_componentwise() {
+        let f = p("(a, b) = (c, d)");
+        let g = expand_complex_equalities(&f, &|_| false);
+        assert_eq!(g.to_string(), "a = c & b = d");
+    }
+
+    #[test]
+    fn expands_field_write_applications() {
+        let f = p("(next(x := y)) z = w");
+        let g = expand_field_write_applications(&f);
+        assert_eq!(g.to_string(), "ite (z = x) y (next z) = w");
+        let lifted = lift_ite(&g);
+        assert_eq!(
+            lifted.to_string(),
+            "(z = x --> y = w) & (~(z = x) --> next z = w)"
+        );
+    }
+
+    #[test]
+    fn expands_array_write_reads() {
+        let f = p("arrayRead (arrayWrite arrayState a i v) a j = null");
+        let g = lift_ite(&expand_field_write_applications(&f));
+        assert!(g.to_string().contains("-->"));
+        assert!(g.contains_const(&Const::ArrayRead));
+    }
+
+    #[test]
+    fn resolves_old_expressions() {
+        let mut snap = BTreeMap::new();
+        snap.insert("content".to_string(), "content_pre".to_string());
+        let f = p("content = old content Un {x}");
+        assert_eq!(
+            resolve_old(&f, &snap).to_string(),
+            "content = content_pre Un {x}"
+        );
+    }
+
+    #[test]
+    fn rewrite_fixpoint_terminates_on_identity() {
+        let f = p("p & q");
+        assert_eq!(rewrite_fixpoint(&f, &|_| None), f);
+    }
+}

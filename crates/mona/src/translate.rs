@@ -1,0 +1,380 @@
+//! The Jahob→MONA interface: translating sequents into WS1S.
+//!
+//! Jahob's MONA interface (§6.4) exposes the structure of a sequent to the automata-based
+//! decision procedure. This reproduction supports the *monadic fragment*: formulas built
+//! from
+//!
+//! * equalities between object variables (and `null`),
+//! * membership of object variables in set-valued variables,
+//! * subset and equality atoms between set-valued variables, and
+//! * arbitrary quantification over objects and object sets,
+//!
+//! which covers many of the per-object invariant conjuncts that arise from the data
+//! structure specifications (for example "every allocated node in `nodes` is also in
+//! `alloc`"). The monadic class has the finite model property, and every finite model can
+//! be laid out along a word, so deciding the WS1S encoding is sound and complete for this
+//! fragment. Atoms outside the fragment (arithmetic, reachability, cardinality, field
+//! dereferences) are approximated away by polarity (Figure 14), preserving soundness.
+
+use crate::ws1s::{Decider, Ws1s, Ws1sOutcome};
+use jahob_logic::approx::{approximate_implication, Polarity};
+use jahob_logic::form::{Binder, Const, Form};
+use jahob_logic::rewrite::expand_set_membership;
+use jahob_logic::simplify::simplify;
+use jahob_logic::types::Type;
+use jahob_logic::Sequent;
+use std::collections::BTreeMap;
+
+/// Options for the MONA-style prover.
+#[derive(Debug, Clone)]
+pub struct MonaOptions {
+    /// Maximum number of distinct variables (tracks); the automaton alphabet is `2^n`.
+    pub max_tracks: usize,
+}
+
+impl Default for MonaOptions {
+    fn default() -> Self {
+        MonaOptions { max_tracks: 10 }
+    }
+}
+
+/// Result of a MONA-style proof attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonaResult {
+    /// `true` if the sequent was proved valid.
+    pub proved: bool,
+    /// `true` if the sequent (after approximation) was inside the supported fragment.
+    pub applicable: bool,
+    /// The number of automaton tracks used.
+    pub tracks: usize,
+}
+
+/// Attempts to prove a sequent with the WS1S decision procedure.
+pub fn prove_sequent(sequent: &Sequent, options: &MonaOptions) -> MonaResult {
+    let sequent = sequent.without_comments();
+    let assumptions: Vec<Form> = sequent
+        .assumptions
+        .iter()
+        .map(|a| simplify(&expand_set_membership(a)))
+        .collect();
+    let goal = simplify(&expand_set_membership(&sequent.goal));
+    let (assumptions, goal) = approximate_implication(&assumptions, &goal, &monadic_atom_filter);
+    if goal.is_false() && assumptions.is_empty() {
+        return MonaResult {
+            proved: false,
+            applicable: false,
+            tracks: 0,
+        };
+    }
+    let implication = Form::implies(Form::and(assumptions), goal);
+
+    // Translate into WS1S.
+    let mut cx = Translator::default();
+    let Some(ws) = cx.translate(&implication) else {
+        return MonaResult {
+            proved: false,
+            applicable: false,
+            tracks: cx.vars.len(),
+        };
+    };
+    // `null` is modelled as a distinguished first-order position. Its identity is not
+    // known to the decision procedure, so the implication must hold for *every* choice of
+    // that position (universal quantification — an existential here would unsoundly let
+    // the decider pick a convenient position for `null`).
+    let ws = if cx.used_null {
+        Ws1s::ForallPos("vnull".to_string(), Box::new(ws))
+    } else {
+        ws
+    };
+    let tracks = cx.vars.len() + usize::from(cx.used_null);
+    if tracks > options.max_tracks {
+        return MonaResult {
+            proved: false,
+            applicable: false,
+            tracks,
+        };
+    }
+    let decider = Decider::new(&ws);
+    let proved = matches!(decider.decide(&ws), Ws1sOutcome::Valid);
+    MonaResult {
+        proved,
+        applicable: true,
+        tracks,
+    }
+}
+
+/// Atoms in the monadic fragment.
+fn monadic_atom_filter(atom: &Form, _polarity: Polarity) -> Option<Form> {
+    if is_monadic_atom(atom) {
+        Some(atom.clone())
+    } else {
+        None
+    }
+}
+
+fn is_element(f: &Form) -> bool {
+    matches!(f, Form::Var(_) | Form::Const(Const::Null))
+}
+
+fn is_set_name(f: &Form) -> bool {
+    matches!(f, Form::Var(_))
+}
+
+fn is_monadic_atom(atom: &Form) -> bool {
+    match atom {
+        Form::App(head, args) => match (head.as_ref(), args.as_slice()) {
+            (Form::Const(Const::Eq), [l, r]) => {
+                (is_element(l) && is_element(r)) || (is_set_name(l) && is_set_name(r))
+            }
+            (Form::Const(Const::Elem), [e, s]) => is_element(e) && is_set_name(s),
+            (Form::Const(Const::SubsetEq), [l, r]) => is_set_name(l) && is_set_name(r),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Translates approximated formulas into WS1S, assigning track names to variables.
+#[derive(Default)]
+struct Translator {
+    /// Mapping from Jahob variable names to WS1S variable names. First-order variables
+    /// receive lowercase names (`v0`, `v1`, ...), set variables uppercase (`S0`, ...).
+    vars: BTreeMap<String, String>,
+    next_fo: usize,
+    next_so: usize,
+    used_null: bool,
+}
+
+impl Translator {
+    fn fo_var(&mut self, name: &str) -> String {
+        if let Some(v) = self.vars.get(name) {
+            return v.clone();
+        }
+        let v = format!("v{}", self.next_fo);
+        self.next_fo += 1;
+        self.vars.insert(name.to_string(), v.clone());
+        v
+    }
+
+    fn so_var(&mut self, name: &str) -> String {
+        if let Some(v) = self.vars.get(name) {
+            return v.clone();
+        }
+        let v = format!("S{}", self.next_so);
+        self.next_so += 1;
+        self.vars.insert(name.to_string(), v.clone());
+        v
+    }
+
+    fn element(&mut self, f: &Form) -> Option<String> {
+        match f {
+            Form::Var(v) => Some(self.fo_var(v)),
+            Form::Const(Const::Null) => {
+                self.used_null = true;
+                Some("vnull".to_string())
+            }
+            _ => None,
+        }
+    }
+
+    fn translate(&mut self, f: &Form) -> Option<Ws1s> {
+        match f {
+            Form::Const(Const::BoolLit(true)) => Some(Ws1s::True),
+            Form::Const(Const::BoolLit(false)) => Some(Ws1s::False),
+            Form::App(head, args) => match (head.as_ref(), args.as_slice()) {
+                (Form::Const(Const::And), _) => Some(Ws1s::And(
+                    args.iter()
+                        .map(|a| self.translate(a))
+                        .collect::<Option<Vec<_>>>()?,
+                )),
+                (Form::Const(Const::Or), _) => Some(Ws1s::Or(
+                    args.iter()
+                        .map(|a| self.translate(a))
+                        .collect::<Option<Vec<_>>>()?,
+                )),
+                (Form::Const(Const::Not), [a]) => {
+                    Some(Ws1s::Not(Box::new(self.translate(a)?)))
+                }
+                (Form::Const(Const::Impl), [l, r]) => {
+                    Some(Ws1s::implies(self.translate(l)?, self.translate(r)?))
+                }
+                (Form::Const(Const::Iff), [l, r]) => {
+                    let a = self.translate(l)?;
+                    let b = self.translate(r)?;
+                    Some(Ws1s::And(vec![
+                        Ws1s::implies(a.clone(), b.clone()),
+                        Ws1s::implies(b, a),
+                    ]))
+                }
+                (Form::Const(Const::Eq), [l, r]) => {
+                    if is_element(l) && is_element(r) {
+                        Some(Ws1s::EqPos(self.element(l)?, self.element(r)?))
+                    } else if is_set_name(l) && is_set_name(r) {
+                        let (Form::Var(a), Form::Var(b)) = (l, r) else {
+                            return None;
+                        };
+                        Some(Ws1s::EqSet(self.so_var(a), self.so_var(b)))
+                    } else {
+                        None
+                    }
+                }
+                (Form::Const(Const::Elem), [e, s]) => {
+                    let Form::Var(sv) = s else { return None };
+                    Some(Ws1s::In(self.element(e)?, self.so_var(sv)))
+                }
+                (Form::Const(Const::SubsetEq), [l, r]) => {
+                    let (Form::Var(a), Form::Var(b)) = (l, r) else {
+                        return None;
+                    };
+                    Some(Ws1s::Subset(self.so_var(a), self.so_var(b)))
+                }
+                _ => None,
+            },
+            Form::Binder(binder @ (Binder::Forall | Binder::Exists), vars, body) => {
+                // Determine for each bound variable whether it is first-order (object) or
+                // second-order (object set) from its annotation or its usage in the body.
+                let mut result = self.translate(body)?;
+                for (name, ty) in vars.iter().rev() {
+                    let second_order = match ty {
+                        Type::Set(_) => true,
+                        Type::Obj => false,
+                        _ => used_as_set(body, name),
+                    };
+                    let wsname = if second_order {
+                        self.so_var(name)
+                    } else {
+                        self.fo_var(name)
+                    };
+                    result = match (binder, second_order) {
+                        (Binder::Forall, false) => {
+                            Ws1s::ForallPos(wsname, Box::new(result))
+                        }
+                        (Binder::Forall, true) => Ws1s::ForallSet(wsname, Box::new(result)),
+                        (Binder::Exists, false) => Ws1s::ExistsPos(wsname, Box::new(result)),
+                        (Binder::Exists, true) => Ws1s::ExistsSet(wsname, Box::new(result)),
+                        _ => unreachable!("binder restricted above"),
+                    };
+                    // Bound variables must not leak their track mapping outside their
+                    // scope (names may be reused).
+                    self.vars.remove(name);
+                }
+                Some(result)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Returns `true` if the variable occurs in set position (as the right-hand side of a
+/// membership or in a subset/set-equality atom) in the formula.
+fn used_as_set(f: &Form, name: &str) -> bool {
+    match f {
+        Form::App(head, args) => {
+            if let Form::Const(Const::Elem) = head.as_ref() {
+                if args.len() == 2 && args[1] == Form::var(name) {
+                    return true;
+                }
+            }
+            if let Form::Const(Const::SubsetEq) = head.as_ref() {
+                if args.iter().any(|a| *a == Form::var(name)) {
+                    return true;
+                }
+            }
+            args.iter().any(|a| used_as_set(a, name))
+        }
+        Form::Binder(_, vars, body) => {
+            !vars.iter().any(|(v, _)| v == name) && used_as_set(body, name)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jahob_logic::parse_form;
+
+    fn seq(assumptions: &[&str], goal: &str) -> Sequent {
+        Sequent::new(
+            assumptions.iter().map(|a| parse_form(a).expect("parse")).collect(),
+            parse_form(goal).expect("parse"),
+        )
+    }
+
+    fn proves(assumptions: &[&str], goal: &str) -> bool {
+        prove_sequent(&seq(assumptions, goal), &MonaOptions::default()).proved
+    }
+
+    #[test]
+    fn proves_membership_propagation() {
+        assert!(proves(
+            &["ALL x. x : nodes --> x : alloc", "n : nodes"],
+            "n : alloc"
+        ));
+        assert!(!proves(&["n : alloc"], "n : nodes"));
+    }
+
+    #[test]
+    fn proves_set_equality_reasoning() {
+        assert!(proves(&["nodes = nodes1", "x : nodes"], "x : nodes1"));
+        assert!(proves(
+            &["ALL x. x : a --> x : b", "ALL x. x : b --> x : c"],
+            "ALL x. x : a --> x : c"
+        ));
+    }
+
+    #[test]
+    fn proves_quantified_set_goals() {
+        // Extensionality expressed with quantifiers.
+        assert!(proves(
+            &["ALL e. e : a <-> e : b"],
+            "a = b"
+        ));
+    }
+
+    #[test]
+    fn proves_null_handling() {
+        assert!(proves(
+            &["ALL x. x : nodes --> x ~= null", "null : nodes | ok : nodes"],
+            "ok : nodes | False"
+        ));
+    }
+
+    #[test]
+    fn set_algebra_is_expanded_before_translation() {
+        assert!(proves(&["x : a"], "x : a Un b"));
+        assert!(proves(&["x : a", "x ~: b"], "x : a - b"));
+        assert!(!proves(&["x : a Un b"], "x : a"));
+    }
+
+    #[test]
+    fn null_is_not_chosen_conveniently() {
+        // Regression test: `null` is an unknown position, so a satisfiable assumption set
+        // about a non-null object must not be declared contradictory (which would prove
+        // any goal). An existential encoding of `null` exhibited exactly this unsoundness.
+        assert!(!proves(
+            &["~(n = null)", "~(n : alloc)", "n : List"],
+            "False"
+        ));
+        assert!(!proves(&["~(n = null)", "~(n : alloc)", "n : List"], "n : alloc"));
+        // Valid facts about null still go through.
+        assert!(proves(&["~(null : alloc)", "x : alloc"], "~(x = null)"));
+    }
+
+    #[test]
+    fn declines_arithmetic_sequents() {
+        let r = prove_sequent(&seq(&["size = 0"], "size + 1 = 1"), &MonaOptions::default());
+        assert!(!r.proved);
+    }
+
+    #[test]
+    fn respects_track_limit() {
+        let opts = MonaOptions { max_tracks: 2 };
+        let r = prove_sequent(
+            &seq(&["a : s", "b : t", "c : u"], "a : s"),
+            &opts,
+        );
+        assert!(!r.applicable);
+        assert!(prove_sequent(&seq(&["a : s", "b : t", "c : u"], "a : s"), &MonaOptions::default()).proved);
+    }
+}

@@ -1,0 +1,579 @@
+//! # jahob-provers
+//!
+//! Integrated reasoning (§5–§6 of *Full Functional Verification of Linked Data
+//! Structures*, PLDI 2008): the prover dispatcher that takes the proof obligations
+//! produced by `jahob-vcgen` and discharges each with the cheapest applicable reasoner.
+//!
+//! The provers, in the architecture of Figure 1:
+//!
+//! * the **syntactic prover** (§6.1) — trivial validity checks applied first to every
+//!   sequent;
+//! * **MONA** (§6.4) — the WS1S decision procedure of `jahob-mona`;
+//! * the **SMT prover** (§6.3, the CVC3/Z3 role) — ground EUF + LIA with quantifier
+//!   instantiation from `jahob-smt`;
+//! * the **first-order prover** (§6.2, the SPASS/E role) — the resolution prover of
+//!   `jahob-folp`;
+//! * **BAPA** (§6.5) — sets with cardinalities from `jahob-bapa`;
+//! * the **interactive prover** (§6.6) — a library of named, interactively established
+//!   lemmas; obligations registered there are treated as proved, mirroring Jahob's
+//!   handling of Isabelle/Coq proof scripts.
+//!
+//! The dispatcher tries the provers in a configurable order (§5.2), optionally spreading
+//! independent obligations over worker threads, and records per-prover sequent counts and
+//! times — the data reported in Figures 7 and 15 of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use jahob_logic::norm::{canonicalize, inline_definitions};
+use jahob_logic::simplify::{simplify, strip_comments_deep};
+use jahob_logic::Form;
+use jahob_vcgen::ProofObligation;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The provers of the integrated reasoning system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProverId {
+    /// The built-in syntactic prover (§6.1).
+    Syntactic,
+    /// The WS1S/automata decision procedure (MONA's role, §6.4).
+    Mona,
+    /// The SMT-style ground prover (CVC3/Z3's role, §6.3).
+    Smt,
+    /// The first-order resolution prover (SPASS/E's role, §6.2).
+    Fol,
+    /// The BAPA decision procedure (§6.5).
+    Bapa,
+    /// The interactive lemma library (Isabelle/Coq's role, §6.6).
+    Interactive,
+}
+
+impl ProverId {
+    /// All provers in the default attempt order (cheap and specialised first).
+    pub fn default_order() -> Vec<ProverId> {
+        vec![
+            ProverId::Syntactic,
+            ProverId::Smt,
+            ProverId::Mona,
+            ProverId::Bapa,
+            ProverId::Fol,
+            ProverId::Interactive,
+        ]
+    }
+
+    /// The display name used in verification reports.
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            ProverId::Syntactic => "Syntactic",
+            ProverId::Mona => "MONA",
+            ProverId::Smt => "SMT (Z3/CVC3)",
+            ProverId::Fol => "FOL (SPASS/E)",
+            ProverId::Bapa => "BAPA",
+            ProverId::Interactive => "Interactive",
+        }
+    }
+}
+
+impl fmt::Display for ProverId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_name())
+    }
+}
+
+/// A library of interactively proven lemmas (§6.6): obligations whose goal (identified by
+/// its label path and goal text) has been established by an external proof script. The
+/// dispatcher treats registered obligations as proved and attributes them to the
+/// interactive prover.
+#[derive(Debug, Clone, Default)]
+pub struct LemmaLibrary {
+    entries: BTreeSet<String>,
+}
+
+impl LemmaLibrary {
+    /// Creates an empty library.
+    pub fn new() -> Self {
+        LemmaLibrary::default()
+    }
+
+    /// The canonical key of an obligation: its label path and printed goal.
+    pub fn key_of(obligation: &ProofObligation) -> String {
+        format!(
+            "{}|{}",
+            obligation.sequent.labels.join("."),
+            strip_comments_deep(&obligation.sequent.goal)
+        )
+    }
+
+    /// Registers an obligation key as interactively proven.
+    pub fn register(&mut self, key: impl Into<String>) {
+        self.entries.insert(key.into());
+    }
+
+    /// Returns `true` if the obligation has a registered proof.
+    pub fn contains(&self, obligation: &ProofObligation) -> bool {
+        self.entries.contains(&Self::key_of(obligation))
+    }
+
+    /// Number of registered lemmas.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Per-method context shared by the prover interfaces: which variables denote sets and
+/// fields (used by the approximation steps), plus the lemma library.
+#[derive(Debug, Clone, Default)]
+pub struct ProverContext {
+    /// Set-typed global variables.
+    pub set_vars: BTreeSet<String>,
+    /// Function-typed (field-like) global variables.
+    pub fun_vars: BTreeSet<String>,
+    /// Interactively proven lemmas.
+    pub lemmas: LemmaLibrary,
+}
+
+/// Configuration of the dispatcher.
+#[derive(Debug, Clone)]
+pub struct DispatcherConfig {
+    /// The provers to try, in order (§5.2: "the user lists the provers starting from the
+    /// ones that are most likely to succeed or fail quickly").
+    pub order: Vec<ProverId>,
+    /// Spread independent obligations over this many worker threads (1 = sequential).
+    pub threads: usize,
+    /// Apply `by` hints (assumption selection) when present.
+    pub use_hints: bool,
+}
+
+impl Default for DispatcherConfig {
+    fn default() -> Self {
+        DispatcherConfig {
+            order: ProverId::default_order(),
+            threads: 1,
+            use_hints: true,
+        }
+    }
+}
+
+/// Statistics for one prover within a verification run (one row cell of Figure 15).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProverStats {
+    /// Number of sequents this prover proved.
+    pub proved: usize,
+    /// Number of sequents it attempted (including failures).
+    pub attempted: usize,
+    /// Total time spent in this prover.
+    pub time: Duration,
+}
+
+/// The outcome of running the dispatcher on a set of obligations.
+#[derive(Debug, Clone, Default)]
+pub struct VerificationReport {
+    /// Per-prover statistics.
+    pub per_prover: BTreeMap<ProverId, ProverStats>,
+    /// Total number of sequents (obligations).
+    pub total_sequents: usize,
+    /// Number of sequents proved by some prover.
+    pub proved_sequents: usize,
+    /// Descriptions of the obligations no prover could discharge.
+    pub unproved: Vec<String>,
+    /// Total wall-clock time of the run.
+    pub total_time: Duration,
+}
+
+impl VerificationReport {
+    /// `true` if every sequent was proved.
+    pub fn succeeded(&self) -> bool {
+        self.proved_sequents == self.total_sequents
+    }
+
+    /// Renders the report in the style of Figure 7 of the paper.
+    pub fn render(&self, task_name: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("$ jahob {task_name}\n"));
+        out.push_str("========================================================\n");
+        for (id, stats) in &self.per_prover {
+            if stats.proved == 0 && stats.attempted == 0 {
+                continue;
+            }
+            if *id == ProverId::Syntactic {
+                out.push_str(&format!(
+                    "Built-in checker proved {} sequents during splitting.\n",
+                    stats.proved
+                ));
+            } else {
+                out.push_str(&format!(
+                    "{} proved {} out of {} sequents. Total time : {:.1} s\n",
+                    id.display_name(),
+                    stats.proved,
+                    stats.attempted,
+                    stats.time.as_secs_f64()
+                ));
+            }
+        }
+        out.push_str("========================================================\n");
+        out.push_str(&format!(
+            "A total of {} sequents out of {} proved.\n",
+            self.proved_sequents, self.total_sequents
+        ));
+        if self.succeeded() {
+            out.push_str(&format!("[{task_name}]\n0=== Verification SUCCEEDED.\n"));
+        } else {
+            out.push_str(&format!("[{task_name}]\n0=== Verification FAILED.\n"));
+            for d in &self.unproved {
+                out.push_str(&format!("  unproved: {d}\n"));
+            }
+        }
+        out
+    }
+
+    /// Merges another report into this one (used when aggregating methods or threads).
+    pub fn merge(&mut self, other: &VerificationReport) {
+        for (id, s) in &other.per_prover {
+            let entry = self.per_prover.entry(*id).or_default();
+            entry.proved += s.proved;
+            entry.attempted += s.attempted;
+            entry.time += s.time;
+        }
+        self.total_sequents += other.total_sequents;
+        self.proved_sequents += other.proved_sequents;
+        self.unproved.extend(other.unproved.iter().cloned());
+        self.total_time += other.total_time;
+    }
+}
+
+/// The integrated-reasoning dispatcher.
+#[derive(Debug, Clone, Default)]
+pub struct Dispatcher {
+    /// Configuration (prover order, threads, hint usage).
+    pub config: DispatcherConfig,
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher with the default prover order.
+    pub fn new() -> Self {
+        Dispatcher::default()
+    }
+
+    /// Creates a dispatcher with an explicit prover order.
+    pub fn with_order(order: Vec<ProverId>) -> Self {
+        Dispatcher {
+            config: DispatcherConfig {
+                order,
+                ..DispatcherConfig::default()
+            },
+        }
+    }
+
+    /// Proves a batch of obligations, returning the aggregated report.
+    pub fn prove_all(
+        &self,
+        obligations: &[ProofObligation],
+        context: &ProverContext,
+    ) -> VerificationReport {
+        let start = Instant::now();
+        let mut report = if self.config.threads <= 1 || obligations.len() <= 1 {
+            let mut r = VerificationReport::default();
+            for ob in obligations {
+                let one = self.prove_one(ob, context);
+                r.merge(&one);
+            }
+            r
+        } else {
+            let chunks: Vec<&[ProofObligation]> = obligations
+                .chunks(obligations.len().div_ceil(self.config.threads))
+                .collect();
+            let merged = Mutex::new(VerificationReport::default());
+            crossbeam::scope(|scope| {
+                for chunk in chunks {
+                    let merged = &merged;
+                    scope.spawn(move |_| {
+                        let mut local = VerificationReport::default();
+                        for ob in chunk {
+                            local.merge(&self.prove_one(ob, context));
+                        }
+                        merged.lock().merge(&local);
+                    });
+                }
+            })
+            .expect("worker thread panicked");
+            merged.into_inner()
+        };
+        report.total_time = start.elapsed();
+        report
+    }
+
+    /// Attempts one obligation with each prover in order; the first success wins.
+    pub fn prove_one(
+        &self,
+        obligation: &ProofObligation,
+        context: &ProverContext,
+    ) -> VerificationReport {
+        let mut report = VerificationReport {
+            total_sequents: 1,
+            ..VerificationReport::default()
+        };
+        let sequent = if self.config.use_hints && !obligation.hints.is_empty() {
+            obligation.hinted_sequent()
+        } else {
+            obligation.sequent.clone()
+        };
+        // §5.3: before any prover runs, substitute the definitions of the intermediate
+        // variables introduced by the VC generator (assignment temporaries, pre-state
+        // snapshots, splitter renamings). Every prover then works on the collapsed
+        // sequent.
+        let sequent = inline_definitions(&sequent);
+        for prover in &self.config.order {
+            let start = Instant::now();
+            let proved = attempt(*prover, &sequent, obligation, context);
+            let elapsed = start.elapsed();
+            let stats = report.per_prover.entry(*prover).or_default();
+            stats.attempted += 1;
+            stats.time += elapsed;
+            if proved {
+                stats.proved += 1;
+                report.proved_sequents = 1;
+                return report;
+            }
+        }
+        // When hints narrowed the sequent and nothing succeeded, retry the provers with
+        // the full assumption set (the hints are advice, not a restriction).
+        if self.config.use_hints && !obligation.hints.is_empty() {
+            let full = inline_definitions(&obligation.sequent);
+            for prover in &self.config.order {
+                if matches!(prover, ProverId::Syntactic) {
+                    continue;
+                }
+                let start = Instant::now();
+                let proved = attempt(*prover, &full, obligation, context);
+                let elapsed = start.elapsed();
+                let stats = report.per_prover.entry(*prover).or_default();
+                stats.attempted += 1;
+                stats.time += elapsed;
+                if proved {
+                    stats.proved += 1;
+                    report.proved_sequents = 1;
+                    return report;
+                }
+            }
+        }
+        report.unproved.push(obligation.sequent.describe());
+        report
+    }
+}
+
+/// Runs a single prover on a sequent.
+fn attempt(
+    prover: ProverId,
+    sequent: &jahob_logic::Sequent,
+    obligation: &ProofObligation,
+    context: &ProverContext,
+) -> bool {
+    match prover {
+        ProverId::Syntactic => syntactic_prover(sequent),
+        ProverId::Mona => {
+            jahob_mona::prove_sequent(sequent, &jahob_mona::MonaOptions::default()).proved
+        }
+        ProverId::Smt => {
+            let mut opts = jahob_smt::SmtOptions::default();
+            opts.set_vars = context.set_vars.clone();
+            opts.fun_vars = context.fun_vars.clone();
+            jahob_smt::prove_sequent(sequent, &opts).proved
+        }
+        ProverId::Fol => {
+            let mut opts = jahob_folp::FolOptions::default();
+            opts.translate.set_vars = context.set_vars.clone();
+            opts.translate.fun_vars = context.fun_vars.clone();
+            // Keep the resolution budget modest: the FOL prover is a fallback behind the
+            // SMT prover in the default order.
+            opts.limits.max_iterations = 300;
+            jahob_folp::prove_sequent(sequent, &opts).proved
+        }
+        ProverId::Bapa => {
+            jahob_bapa::prove_sequent(sequent, &jahob_bapa::BapaOptions::default()).proved
+        }
+        ProverId::Interactive => context.lemmas.contains(obligation),
+    }
+}
+
+/// The syntactic prover (§6.1): trivial validity checks that discharge a large share of
+/// the sequents (null-check obligations repeated along paths, invariants re-established
+/// verbatim, and so on).
+///
+/// The checks are applied twice: once on the lightly simplified sequent, and once after
+/// inlining the definitional equalities of generated variables and canonicalising
+/// commutative operators — the "simple syntactic transformations that preserve validity"
+/// the paper alludes to. Both passes are sound: they only rewrite the sequent into
+/// equivalent form and then look for the goal among the assumptions.
+pub fn syntactic_prover(sequent: &jahob_logic::Sequent) -> bool {
+    if syntactic_check(sequent, false) {
+        return true;
+    }
+    let inlined = inline_definitions(sequent);
+    syntactic_check(&inlined, true)
+}
+
+/// One pass of the syntactic validity checks. When `canonical` is set, formulas are
+/// compared modulo commutativity/associativity of `&`, `|`, `Un`, `Int`, `+`, `=` and
+/// membership expansion; otherwise only simplification and comment stripping are applied.
+fn syntactic_check(sequent: &jahob_logic::Sequent, canonical: bool) -> bool {
+    let norm = |f: &Form| -> Form {
+        if canonical {
+            canonicalize(f)
+        } else {
+            simplify(&strip_comments_deep(f))
+        }
+    };
+    let goal = norm(&sequent.goal);
+    if goal.is_true() {
+        return true;
+    }
+    // Reflexive equality.
+    if let Some((l, r)) = goal.as_eq() {
+        if l == r {
+            return true;
+        }
+    }
+    let assumptions: Vec<Form> = sequent.assumptions.iter().map(norm).collect();
+    // A false assumption proves anything.
+    if assumptions.iter().any(Form::is_false) {
+        return true;
+    }
+    // The goal (or each of its conjuncts) appears among the assumptions, possibly as a
+    // conjunct of an assumption, possibly as a symmetric equality.
+    let mut available: BTreeSet<Form> = BTreeSet::new();
+    for a in &assumptions {
+        for c in a.conjuncts() {
+            available.insert(c.clone());
+            if let Some((l, r)) = c.as_eq() {
+                available.insert(Form::eq(r.clone(), l.clone()));
+            }
+        }
+    }
+    goal.conjuncts().iter().all(|c| {
+        available.contains(*c)
+            || c.as_eq().map(|(l, r)| l == r).unwrap_or(false)
+            || c.is_true()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jahob_logic::{parse_form, Sequent};
+
+    fn ob(assumptions: &[&str], goal: &str) -> ProofObligation {
+        ProofObligation {
+            sequent: Sequent::new(
+                assumptions.iter().map(|a| parse_form(a).expect("parse")).collect(),
+                parse_form(goal).expect("parse"),
+            ),
+            hints: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn syntactic_prover_discharges_trivial_sequents() {
+        assert!(syntactic_prover(&ob(&["x ~= null"], "x ~= null").sequent));
+        assert!(syntactic_prover(&ob(&["p & q"], "q").sequent));
+        assert!(syntactic_prover(&ob(&["a = b"], "b = a").sequent));
+        assert!(syntactic_prover(&ob(&["False"], "anything = 1").sequent));
+        assert!(syntactic_prover(&ob(&[], "x = x").sequent));
+        assert!(!syntactic_prover(&ob(&["p | q"], "p").sequent));
+    }
+
+    #[test]
+    fn dispatcher_routes_to_the_right_prover() {
+        let dispatcher = Dispatcher::new();
+        let context = ProverContext::default();
+        // Syntactic.
+        let r = dispatcher.prove_one(&ob(&["p"], "p"), &context);
+        assert_eq!(r.per_prover[&ProverId::Syntactic].proved, 1);
+        // Arithmetic goes to the SMT prover.
+        let r = dispatcher.prove_one(&ob(&["x = y + 1", "0 <= y"], "1 <= x"), &context);
+        assert!(r.succeeded());
+        assert_eq!(r.per_prover[&ProverId::Smt].proved, 1);
+        // Cardinality goes to BAPA.
+        let r = dispatcher.prove_one(
+            &ob(
+                &["size = card content", "x ~: content", "content1 = content Un {x}"],
+                "size + 1 = card content1",
+            ),
+            &context,
+        );
+        assert!(r.succeeded());
+        assert_eq!(r.per_prover[&ProverId::Bapa].proved, 1);
+    }
+
+    #[test]
+    fn unproved_obligations_are_reported() {
+        let dispatcher = Dispatcher::new();
+        let context = ProverContext::default();
+        let r = dispatcher.prove_one(&ob(&["p"], "q"), &context);
+        assert!(!r.succeeded());
+        assert_eq!(r.unproved.len(), 1);
+    }
+
+    #[test]
+    fn interactive_lemmas_are_honoured() {
+        let dispatcher = Dispatcher::new();
+        let mut context = ProverContext::default();
+        let hard = ob(&["complicated : thing"], "deep_theorem = True");
+        context.lemmas.register(LemmaLibrary::key_of(&hard));
+        let r = dispatcher.prove_one(&hard, &context);
+        assert!(r.succeeded());
+        assert_eq!(r.per_prover[&ProverId::Interactive].proved, 1);
+    }
+
+    #[test]
+    fn hints_filter_assumptions_but_do_not_lose_proofs() {
+        let dispatcher = Dispatcher::new();
+        let context = ProverContext::default();
+        let mut o = ob(
+            &["comment ''key'' (a = b)", "comment ''noise'' (c : d)"],
+            "b = a",
+        );
+        o.hints = vec!["key".to_string()];
+        assert!(dispatcher.prove_one(&o, &context).succeeded());
+        // A hint pointing at the wrong assumption still succeeds via the full-sequent
+        // retry.
+        o.hints = vec!["noise".to_string()];
+        assert!(dispatcher.prove_one(&o, &context).succeeded());
+    }
+
+    #[test]
+    fn batch_and_parallel_runs_agree() {
+        let obs = vec![
+            ob(&["p"], "p"),
+            ob(&["x = y", "y = z"], "x = z"),
+            ob(&["0 <= n"], "0 <= n + 1"),
+            ob(&["p"], "q"),
+        ];
+        let context = ProverContext::default();
+        let sequential = Dispatcher::new().prove_all(&obs, &context);
+        let mut parallel = Dispatcher::new();
+        parallel.config.threads = 3;
+        let par = parallel.prove_all(&obs, &context);
+        assert_eq!(sequential.proved_sequents, 3);
+        assert_eq!(par.proved_sequents, 3);
+        assert_eq!(sequential.total_sequents, par.total_sequents);
+    }
+
+    #[test]
+    fn report_renders_figure7_style_output() {
+        let obs = vec![ob(&["p"], "p"), ob(&["x = y"], "y = x")];
+        let context = ProverContext::default();
+        let report = Dispatcher::new().prove_all(&obs, &context);
+        let text = report.render("List.add");
+        assert!(text.contains("Built-in checker proved"));
+        assert!(text.contains("A total of 2 sequents out of 2 proved."));
+        assert!(text.contains("Verification SUCCEEDED"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Congruence closure for ground equality reasoning (EUF).
+//!
+//! The theory solver of the SMT-style prover: given ground equalities and disequalities
+//! over uninterpreted functions, decides consistency and answers equality queries. It is
+//! a classic union–find based congruence closure.
+
+use std::collections::BTreeMap;
+
+/// A ground term handle (index into the term table).
+pub type TermId = usize;
+
+/// A ground term: a symbol applied to already-interned arguments.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GroundTerm {
+    /// Function symbol (constants have no arguments).
+    pub symbol: String,
+    /// Argument term ids.
+    pub args: Vec<TermId>,
+}
+
+/// A congruence closure engine over interned ground terms.
+#[derive(Debug, Clone, Default)]
+pub struct CongruenceClosure {
+    terms: Vec<GroundTerm>,
+    index: BTreeMap<GroundTerm, TermId>,
+    parent: Vec<TermId>,
+    /// For each representative, the list of terms that have a member of this class as an
+    /// argument (used to re-check congruence after merges).
+    users: Vec<Vec<TermId>>,
+    /// Disequalities asserted so far (pairs of term ids).
+    disequalities: Vec<(TermId, TermId)>,
+}
+
+impl CongruenceClosure {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        CongruenceClosure::default()
+    }
+
+    /// Interns a term, returning its id. Equal terms always receive the same id.
+    pub fn intern(&mut self, symbol: impl Into<String>, args: Vec<TermId>) -> TermId {
+        let t = GroundTerm {
+            symbol: symbol.into(),
+            args,
+        };
+        if let Some(&id) = self.index.get(&t) {
+            return id;
+        }
+        let id = self.terms.len();
+        self.terms.push(t.clone());
+        self.index.insert(t.clone(), id);
+        self.parent.push(id);
+        self.users.push(Vec::new());
+        for &a in &t.args {
+            let ra = self.find(a);
+            self.users[ra].push(id);
+        }
+        // Congruence with existing terms is detected lazily on merges; a fresh term with
+        // arguments already congruent to another application must be merged now.
+        self.merge_congruent_with(id);
+        id
+    }
+
+    /// Interns a constant.
+    pub fn intern_const(&mut self, symbol: impl Into<String>) -> TermId {
+        self.intern(symbol, Vec::new())
+    }
+
+    /// The number of interned terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    fn find(&self, mut x: TermId) -> TermId {
+        while self.parent[x] != x {
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Returns `true` if the two terms are currently known to be equal.
+    pub fn equal(&self, a: TermId, b: TermId) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Asserts an equality. Returns `false` if this makes the state inconsistent with a
+    /// previously asserted disequality.
+    pub fn assert_eq(&mut self, a: TermId, b: TermId) -> bool {
+        self.merge(a, b);
+        self.consistent()
+    }
+
+    /// Asserts a disequality. Returns `false` if the two terms are already equal.
+    pub fn assert_neq(&mut self, a: TermId, b: TermId) -> bool {
+        self.disequalities.push((a, b));
+        self.consistent()
+    }
+
+    /// Returns `true` if no asserted disequality is violated.
+    pub fn consistent(&self) -> bool {
+        self.disequalities.iter().all(|&(a, b)| !self.equal(a, b))
+    }
+
+    fn merge(&mut self, a: TermId, b: TermId) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        // Union by moving ra under rb (rb becomes representative).
+        self.parent[ra] = rb;
+        let moved_users = std::mem::take(&mut self.users[ra]);
+        // Collect congruent pairs among users of the merged classes.
+        let mut to_merge: Vec<(TermId, TermId)> = Vec::new();
+        for &u in &moved_users {
+            for &v in &self.users[rb] {
+                if u != v && self.congruent(u, v) && !self.equal(u, v) {
+                    to_merge.push((u, v));
+                }
+            }
+        }
+        self.users[rb].extend(moved_users);
+        for (u, v) in to_merge {
+            self.merge(u, v);
+        }
+    }
+
+    fn congruent(&self, a: TermId, b: TermId) -> bool {
+        let ta = &self.terms[a];
+        let tb = &self.terms[b];
+        ta.symbol == tb.symbol
+            && ta.args.len() == tb.args.len()
+            && ta
+                .args
+                .iter()
+                .zip(tb.args.iter())
+                .all(|(&x, &y)| self.equal(x, y))
+    }
+
+    fn merge_congruent_with(&mut self, id: TermId) {
+        let mut to_merge = Vec::new();
+        for other in 0..self.terms.len() {
+            if other != id && self.congruent(id, other) && !self.equal(id, other) {
+                to_merge.push(other);
+            }
+        }
+        for other in to_merge {
+            self.merge(id, other);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asserted_equalities_are_transitive() {
+        let mut cc = CongruenceClosure::new();
+        let a = cc.intern_const("a");
+        let b = cc.intern_const("b");
+        let c = cc.intern_const("c");
+        assert!(cc.assert_eq(a, b));
+        assert!(cc.assert_eq(b, c));
+        assert!(cc.equal(a, c));
+    }
+
+    #[test]
+    fn congruence_propagates_through_functions() {
+        let mut cc = CongruenceClosure::new();
+        let a = cc.intern_const("a");
+        let b = cc.intern_const("b");
+        let fa = cc.intern("f", vec![a]);
+        let fb = cc.intern("f", vec![b]);
+        assert!(!cc.equal(fa, fb));
+        assert!(cc.assert_eq(a, b));
+        assert!(cc.equal(fa, fb));
+    }
+
+    #[test]
+    fn congruence_detected_for_terms_interned_after_merge() {
+        let mut cc = CongruenceClosure::new();
+        let a = cc.intern_const("a");
+        let b = cc.intern_const("b");
+        assert!(cc.assert_eq(a, b));
+        let fa = cc.intern("f", vec![a]);
+        let fb = cc.intern("f", vec![b]);
+        assert!(cc.equal(fa, fb));
+    }
+
+    #[test]
+    fn disequalities_cause_conflicts() {
+        let mut cc = CongruenceClosure::new();
+        let a = cc.intern_const("a");
+        let b = cc.intern_const("b");
+        let fa = cc.intern("f", vec![a]);
+        let fb = cc.intern("f", vec![b]);
+        assert!(cc.assert_neq(fa, fb));
+        assert!(!cc.assert_eq(a, b), "merging a and b forces f(a) = f(b)");
+    }
+
+    #[test]
+    fn nested_congruence() {
+        let mut cc = CongruenceClosure::new();
+        let a = cc.intern_const("a");
+        let fa = cc.intern("f", vec![a]);
+        let ffa = cc.intern("f", vec![fa]);
+        let fffa = cc.intern("f", vec![ffa]);
+        // f(a) = a implies f(f(f(a))) = a.
+        assert!(cc.assert_eq(fa, a));
+        assert!(cc.equal(fffa, a));
+    }
+
+    #[test]
+    fn interning_is_hash_consing() {
+        let mut cc = CongruenceClosure::new();
+        let a1 = cc.intern_const("a");
+        let a2 = cc.intern_const("a");
+        assert_eq!(a1, a2);
+        let f1 = cc.intern("f", vec![a1]);
+        let f2 = cc.intern("f", vec![a2]);
+        assert_eq!(f1, f2);
+        assert_eq!(cc.num_terms(), 2);
+    }
+}

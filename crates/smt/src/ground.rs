@@ -1,0 +1,519 @@
+//! Ground SMT solving: DPLL over theory atoms with congruence closure and linear integer
+//! arithmetic.
+//!
+//! After quantifier instantiation (see [`crate::translate`]) a proof obligation becomes a
+//! ground formula over theory atoms. The solver abstracts each atom to a boolean, runs a
+//! small DPLL search with unit propagation over a clausal abstraction, and checks each
+//! candidate assignment against the theories:
+//!
+//! * equalities/disequalities and uninterpreted predicates via [`crate::euf`],
+//! * linear integer arithmetic via `jahob-arith`.
+//!
+//! Inconsistent assignments yield conflict clauses, so the search terminates with either
+//! a theory-consistent assignment (`Sat`: the obligation is not proved) or a refutation
+//! (`Unsat`: the obligation is proved).
+
+use crate::euf::CongruenceClosure;
+use jahob_arith::{Constraint, LinExpr};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A ground theory term.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GTerm {
+    /// An integer literal.
+    Int(i64),
+    /// An application of an uninterpreted symbol (constants have no arguments).
+    App(String, Vec<GTerm>),
+    /// Integer addition.
+    Add(Box<GTerm>, Box<GTerm>),
+    /// Integer subtraction.
+    Sub(Box<GTerm>, Box<GTerm>),
+    /// Multiplication by a constant (non-linear products are not supported).
+    Mul(i64, Box<GTerm>),
+}
+
+impl GTerm {
+    /// A constant symbol.
+    pub fn constant(name: impl Into<String>) -> GTerm {
+        GTerm::App(name.into(), Vec::new())
+    }
+
+    /// Returns `true` if the term contains arithmetic structure.
+    pub fn is_arithmetic(&self) -> bool {
+        matches!(self, GTerm::Int(_) | GTerm::Add(..) | GTerm::Sub(..) | GTerm::Mul(..))
+    }
+}
+
+impl fmt::Display for GTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GTerm::Int(n) => write!(f, "{n}"),
+            GTerm::App(s, args) => {
+                write!(f, "{s}")?;
+                if !args.is_empty() {
+                    write!(f, "(")?;
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            GTerm::Add(a, b) => write!(f, "({a} + {b})"),
+            GTerm::Sub(a, b) => write!(f, "({a} - {b})"),
+            GTerm::Mul(k, a) => write!(f, "({k} * {a})"),
+        }
+    }
+}
+
+/// A ground theory atom.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GAtom {
+    /// Equality between terms.
+    Eq(GTerm, GTerm),
+    /// `lhs <= rhs` over the integers.
+    Le(GTerm, GTerm),
+    /// `lhs < rhs` over the integers.
+    Lt(GTerm, GTerm),
+    /// An uninterpreted predicate applied to terms (includes propositional atoms, which
+    /// have no arguments).
+    Pred(String, Vec<GTerm>),
+}
+
+impl fmt::Display for GAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GAtom::Eq(a, b) => write!(f, "{a} = {b}"),
+            GAtom::Le(a, b) => write!(f, "{a} <= {b}"),
+            GAtom::Lt(a, b) => write!(f, "{a} < {b}"),
+            GAtom::Pred(p, args) => write!(f, "{}", GTerm::App(p.clone(), args.clone())),
+        }
+    }
+}
+
+/// A ground literal: an atom with a sign.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GLiteral {
+    /// `true` for the positive occurrence of the atom.
+    pub positive: bool,
+    /// The atom.
+    pub atom: GAtom,
+}
+
+impl GLiteral {
+    /// Positive literal.
+    pub fn pos(atom: GAtom) -> Self {
+        GLiteral {
+            positive: true,
+            atom,
+        }
+    }
+
+    /// Negative literal.
+    pub fn neg(atom: GAtom) -> Self {
+        GLiteral {
+            positive: false,
+            atom,
+        }
+    }
+}
+
+/// A ground clause (disjunction of literals).
+pub type GClause = Vec<GLiteral>;
+
+/// Result of a ground satisfiability check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroundOutcome {
+    /// The clause set is unsatisfiable modulo the theories.
+    Unsat,
+    /// A theory-consistent assignment was found (or the solver cannot refute the set).
+    Sat,
+    /// Resource limits exceeded.
+    Unknown,
+}
+
+/// Limits for the ground search.
+#[derive(Debug, Clone, Copy)]
+pub struct GroundLimits {
+    /// Maximum number of DPLL decisions + conflicts.
+    pub max_steps: usize,
+}
+
+impl Default for GroundLimits {
+    fn default() -> Self {
+        GroundLimits { max_steps: 6_000 }
+    }
+}
+
+/// Decides satisfiability of a conjunction of ground clauses modulo EUF + LIA.
+pub fn check_clauses(clauses: &[GClause], limits: GroundLimits) -> GroundOutcome {
+    // Collect the distinct atoms.
+    let mut atoms: Vec<GAtom> = Vec::new();
+    let mut atom_index: BTreeMap<GAtom, usize> = BTreeMap::new();
+    for c in clauses {
+        for l in c {
+            if !atom_index.contains_key(&l.atom) {
+                atom_index.insert(l.atom.clone(), atoms.len());
+                atoms.push(l.atom.clone());
+            }
+        }
+    }
+    // Clauses as (atom index, sign) pairs.
+    let mut index_clauses: Vec<Vec<(usize, bool)>> = clauses
+        .iter()
+        .map(|c| c.iter().map(|l| (atom_index[&l.atom], l.positive)).collect())
+        .collect();
+
+    let mut steps = 0usize;
+    let mut assignment: Vec<Option<bool>> = vec![None; atoms.len()];
+    match dpll(&atoms, &mut index_clauses, &mut assignment, &mut steps, limits.max_steps) {
+        Some(true) => GroundOutcome::Sat,
+        Some(false) => GroundOutcome::Unsat,
+        None => GroundOutcome::Unknown,
+    }
+}
+
+/// DPLL with chronological backtracking and theory checks on complete assignments and on
+/// every extension (early conflict detection through the theory solver would be possible
+/// but is not needed at the problem sizes the dispatcher sends here).
+fn dpll(
+    atoms: &[GAtom],
+    clauses: &mut Vec<Vec<(usize, bool)>>,
+    assignment: &mut Vec<Option<bool>>,
+    steps: &mut usize,
+    max_steps: usize,
+) -> Option<bool> {
+    *steps += 1;
+    if *steps > max_steps {
+        return None;
+    }
+    // Unit propagation.
+    let mut trail: Vec<usize> = Vec::new();
+    loop {
+        let mut changed = false;
+        for clause in clauses.iter() {
+            let mut unassigned = None;
+            let mut satisfied = false;
+            let mut num_unassigned = 0;
+            for &(a, sign) in clause {
+                match assignment[a] {
+                    Some(v) if v == sign => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        num_unassigned += 1;
+                        unassigned = Some((a, sign));
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            if num_unassigned == 0 {
+                // Conflict.
+                for a in trail {
+                    assignment[a] = None;
+                }
+                return Some(false);
+            }
+            if num_unassigned == 1 {
+                let (a, sign) = unassigned.expect("one unassigned literal");
+                assignment[a] = Some(sign);
+                trail.push(a);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Theory check on the current (partial) assignment.
+    if !theory_consistent(atoms, assignment) {
+        for a in trail {
+            assignment[a] = None;
+        }
+        return Some(false);
+    }
+
+    // Pick an unassigned atom.
+    let next = assignment.iter().position(Option::is_none);
+    let result = match next {
+        None => Some(true),
+        Some(a) => {
+            let mut res = None;
+            for value in [true, false] {
+                assignment[a] = Some(value);
+                match dpll(atoms, clauses, assignment, steps, max_steps) {
+                    Some(true) => {
+                        res = Some(true);
+                        break;
+                    }
+                    Some(false) => {
+                        assignment[a] = None;
+                        res = Some(false);
+                        continue;
+                    }
+                    None => {
+                        res = None;
+                        break;
+                    }
+                }
+            }
+            if res == Some(true) {
+                res
+            } else {
+                assignment[a] = None;
+                res
+            }
+        }
+    };
+    if result != Some(true) {
+        for a in trail {
+            assignment[a] = None;
+        }
+    }
+    result
+}
+
+/// Checks whether the currently assigned atoms are consistent with EUF + LIA.
+fn theory_consistent(atoms: &[GAtom], assignment: &[Option<bool>]) -> bool {
+    // --- EUF ---
+    let mut cc = CongruenceClosure::new();
+    let intern = |cc: &mut CongruenceClosure, t: &GTerm| -> usize { intern_term(cc, t) };
+    let true_id = cc.intern_const("$true");
+    let false_id = cc.intern_const("$false");
+    if !cc.assert_neq(true_id, false_id) {
+        return false;
+    }
+    for (i, atom) in atoms.iter().enumerate() {
+        let Some(value) = assignment[i] else { continue };
+        match atom {
+            GAtom::Eq(a, b) => {
+                let ia = intern(&mut cc, a);
+                let ib = intern(&mut cc, b);
+                let ok = if value {
+                    cc.assert_eq(ia, ib)
+                } else {
+                    cc.assert_neq(ia, ib)
+                };
+                if !ok {
+                    return false;
+                }
+            }
+            GAtom::Pred(p, args) => {
+                let ids: Vec<usize> = args.iter().map(|a| intern(&mut cc, a)).collect();
+                let app = cc.intern(format!("$pred${p}"), ids);
+                let target = if value { true_id } else { false_id };
+                if !cc.assert_eq(app, target) {
+                    return false;
+                }
+            }
+            GAtom::Le(_, _) | GAtom::Lt(_, _) => {}
+        }
+    }
+
+    // --- LIA ---
+    // Arithmetic atoms plus equalities over arithmetic terms become linear constraints.
+    let mut vars: BTreeMap<GTerm, u32> = BTreeMap::new();
+    let mut constraints: Vec<Constraint> = Vec::new();
+    for (i, atom) in atoms.iter().enumerate() {
+        let Some(value) = assignment[i] else { continue };
+        match atom {
+            GAtom::Le(a, b) => {
+                let (ea, eb) = (to_linexpr(a, &mut vars), to_linexpr(b, &mut vars));
+                constraints.push(if value {
+                    Constraint::le(ea, eb)
+                } else {
+                    Constraint::gt(ea, eb)
+                });
+            }
+            GAtom::Lt(a, b) => {
+                let (ea, eb) = (to_linexpr(a, &mut vars), to_linexpr(b, &mut vars));
+                constraints.push(if value {
+                    Constraint::lt(ea, eb)
+                } else {
+                    Constraint::ge(ea, eb)
+                });
+            }
+            GAtom::Eq(a, b) if value => {
+                // Positive equalities are shared with the arithmetic solver regardless of
+                // the shape of the terms (the Nelson-Oppen equality propagation direction
+                // EUF → LIA): uninterpreted terms simply become arithmetic variables, so
+                // an equality like `p = q` still links the constraints that mention `p`
+                // and `q`.
+                let (ea, eb) = (to_linexpr(a, &mut vars), to_linexpr(b, &mut vars));
+                constraints.push(Constraint::eq(ea, eb));
+            }
+            GAtom::Eq(a, b) if !value && (a.is_arithmetic() || b.is_arithmetic()) => {
+                // A disequality over integers is not convex; ignoring it is sound for
+                // consistency checking (it only makes the constraints easier to satisfy,
+                // so we may answer Sat more often, never Unsat wrongly).
+                let _ = (a, b);
+            }
+            _ => {}
+        }
+    }
+    if constraints.is_empty() {
+        return true;
+    }
+    jahob_arith::check(&constraints) != jahob_arith::Outcome::Unsat
+}
+
+fn intern_term(cc: &mut CongruenceClosure, t: &GTerm) -> usize {
+    match t {
+        GTerm::Int(n) => cc.intern_const(format!("$int${n}")),
+        GTerm::App(s, args) => {
+            let ids: Vec<usize> = args.iter().map(|a| intern_term(cc, a)).collect();
+            cc.intern(s.clone(), ids)
+        }
+        GTerm::Add(a, b) => {
+            let ia = intern_term(cc, a);
+            let ib = intern_term(cc, b);
+            cc.intern("$add", vec![ia, ib])
+        }
+        GTerm::Sub(a, b) => {
+            let ia = intern_term(cc, a);
+            let ib = intern_term(cc, b);
+            cc.intern("$sub", vec![ia, ib])
+        }
+        GTerm::Mul(k, a) => {
+            let ik = cc.intern_const(format!("$int${k}"));
+            let ia = intern_term(cc, a);
+            cc.intern("$mul", vec![ik, ia])
+        }
+    }
+}
+
+fn to_linexpr(t: &GTerm, vars: &mut BTreeMap<GTerm, u32>) -> LinExpr {
+    match t {
+        GTerm::Int(n) => LinExpr::constant(*n as i128),
+        GTerm::Add(a, b) => to_linexpr(a, vars).add(&to_linexpr(b, vars)),
+        GTerm::Sub(a, b) => to_linexpr(a, vars).sub(&to_linexpr(b, vars)),
+        GTerm::Mul(k, a) => to_linexpr(a, vars).scale(*k as i128),
+        other => {
+            let next = vars.len() as u32;
+            let id = *vars.entry(other.clone()).or_insert(next);
+            LinExpr::var(id)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(name: &str) -> GTerm {
+        GTerm::constant(name)
+    }
+
+    #[test]
+    fn propositional_conflict_is_unsat() {
+        let p = GAtom::Pred("p".into(), vec![]);
+        let clauses = vec![
+            vec![GLiteral::pos(p.clone())],
+            vec![GLiteral::neg(p.clone())],
+        ];
+        assert_eq!(check_clauses(&clauses, GroundLimits::default()), GroundOutcome::Unsat);
+    }
+
+    #[test]
+    fn propositional_model_is_sat() {
+        let p = GAtom::Pred("p".into(), vec![]);
+        let q = GAtom::Pred("q".into(), vec![]);
+        let clauses = vec![vec![GLiteral::pos(p.clone()), GLiteral::pos(q.clone())]];
+        assert_eq!(check_clauses(&clauses, GroundLimits::default()), GroundOutcome::Sat);
+    }
+
+    #[test]
+    fn euf_congruence_conflict() {
+        // a = b, f(a) != f(b) is unsat.
+        let fa = GTerm::App("f".into(), vec![c("a")]);
+        let fb = GTerm::App("f".into(), vec![c("b")]);
+        let clauses = vec![
+            vec![GLiteral::pos(GAtom::Eq(c("a"), c("b")))],
+            vec![GLiteral::neg(GAtom::Eq(fa, fb))],
+        ];
+        assert_eq!(check_clauses(&clauses, GroundLimits::default()), GroundOutcome::Unsat);
+    }
+
+    #[test]
+    fn euf_transitivity_through_clauses() {
+        // a = b, (b = c | b = d), a != c, a != d  is unsat.
+        let clauses = vec![
+            vec![GLiteral::pos(GAtom::Eq(c("a"), c("b")))],
+            vec![
+                GLiteral::pos(GAtom::Eq(c("b"), c("c"))),
+                GLiteral::pos(GAtom::Eq(c("b"), c("d"))),
+            ],
+            vec![GLiteral::neg(GAtom::Eq(c("a"), c("c")))],
+            vec![GLiteral::neg(GAtom::Eq(c("a"), c("d")))],
+        ];
+        assert_eq!(check_clauses(&clauses, GroundLimits::default()), GroundOutcome::Unsat);
+    }
+
+    #[test]
+    fn lia_conflicts_are_detected() {
+        // x <= 3, x >= 5 is unsat; predicates over integers interact with equalities.
+        let x = c("x");
+        let clauses = vec![
+            vec![GLiteral::pos(GAtom::Le(x.clone(), GTerm::Int(3)))],
+            vec![GLiteral::pos(GAtom::Le(GTerm::Int(5), x.clone()))],
+        ];
+        assert_eq!(check_clauses(&clauses, GroundLimits::default()), GroundOutcome::Unsat);
+    }
+
+    #[test]
+    fn lia_with_arithmetic_terms() {
+        // size1 = size0 + 1, size0 >= 0, size1 <= 0 is unsat.
+        let size0 = c("size0");
+        let size1 = c("size1");
+        let clauses = vec![
+            vec![GLiteral::pos(GAtom::Eq(
+                size1.clone(),
+                GTerm::Add(Box::new(size0.clone()), Box::new(GTerm::Int(1))),
+            ))],
+            vec![GLiteral::pos(GAtom::Le(GTerm::Int(0), size0.clone()))],
+            vec![GLiteral::pos(GAtom::Le(size1.clone(), GTerm::Int(0)))],
+        ];
+        assert_eq!(check_clauses(&clauses, GroundLimits::default()), GroundOutcome::Unsat);
+    }
+
+    #[test]
+    fn mixed_euf_and_boolean_structure() {
+        // (a = b | a = c), f(b) = d, f(c) = d, f(a) != d  is unsat.
+        let fa = GTerm::App("f".into(), vec![c("a")]);
+        let fb = GTerm::App("f".into(), vec![c("b")]);
+        let fc = GTerm::App("f".into(), vec![c("c")]);
+        let clauses = vec![
+            vec![
+                GLiteral::pos(GAtom::Eq(c("a"), c("b"))),
+                GLiteral::pos(GAtom::Eq(c("a"), c("c"))),
+            ],
+            vec![GLiteral::pos(GAtom::Eq(fb, c("d")))],
+            vec![GLiteral::pos(GAtom::Eq(fc, c("d")))],
+            vec![GLiteral::neg(GAtom::Eq(fa, c("d")))],
+        ];
+        assert_eq!(check_clauses(&clauses, GroundLimits::default()), GroundOutcome::Unsat);
+    }
+
+    #[test]
+    fn limits_return_unknown() {
+        // Many independent atoms with a tiny step budget.
+        let mut clauses = Vec::new();
+        for i in 0..20 {
+            let p = GAtom::Pred(format!("p{i}"), vec![]);
+            let q = GAtom::Pred(format!("q{i}"), vec![]);
+            clauses.push(vec![GLiteral::pos(p.clone()), GLiteral::pos(q.clone())]);
+            clauses.push(vec![GLiteral::neg(p), GLiteral::neg(q)]);
+        }
+        let out = check_clauses(&clauses, GroundLimits { max_steps: 3 });
+        assert_eq!(out, GroundOutcome::Unknown);
+    }
+}

@@ -1,0 +1,38 @@
+//! # jahob-smt
+//!
+//! An SMT-style ground prover playing the role of CVC3 and Z3 in the Jahob reproduction
+//! (§6.3 of *Full Functional Verification of Linked Data Structures*, PLDI 2008).
+//!
+//! The crate provides:
+//!
+//! * [`euf`] — congruence closure over ground terms (the EUF theory solver),
+//! * [`ground`] — a DPLL search over theory atoms combining EUF with linear integer
+//!   arithmetic (via `jahob-arith`),
+//! * [`translate`] — the interface from higher-order sequents: rewriting, polarity
+//!   approximation, heuristic quantifier instantiation with the sequent's own ground
+//!   terms, and conversion to ground clauses.
+//!
+//! # Example
+//!
+//! ```
+//! use jahob_smt::{prove_sequent, SmtOptions};
+//! use jahob_logic::{parse_form, Sequent};
+//!
+//! let sequent = Sequent::new(
+//!     vec![parse_form("size = old_size + 1").unwrap(),
+//!          parse_form("0 <= old_size").unwrap()],
+//!     parse_form("1 <= size").unwrap(),
+//! );
+//! assert!(prove_sequent(&sequent, &SmtOptions::default()).proved);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod euf;
+pub mod ground;
+pub mod translate;
+
+pub use euf::CongruenceClosure;
+pub use ground::{check_clauses, GAtom, GClause, GLiteral, GTerm, GroundLimits, GroundOutcome};
+pub use translate::{prove_sequent, SmtOptions, SmtResult};

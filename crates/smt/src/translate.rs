@@ -1,0 +1,645 @@
+//! Translation of higher-order sequents into ground SMT problems.
+//!
+//! This is the Jahob SMT-LIB interface of §6.3, rebuilt on top of the ground solver in
+//! [`crate::ground`]. The pipeline mirrors the first-order interface (rewriting, polarity
+//! approximation) but instead of clausal resolution it *instantiates* universally
+//! quantified assumptions with the ground terms occurring in the sequent — a simple,
+//! trigger-free variant of E-matching — and then decides the resulting ground formula
+//! with DPLL + congruence closure + linear integer arithmetic.
+
+use crate::ground::{check_clauses, GAtom, GClause, GLiteral, GTerm, GroundLimits, GroundOutcome};
+use jahob_logic::approx::{approximate_implication, Polarity};
+use jahob_logic::form::{Binder, Const, Form};
+use jahob_logic::rewrite::{
+    expand_complex_equalities, expand_field_write_applications, expand_set_membership,
+    lift_ite, looks_like_set, rewrite_fixpoint,
+};
+use jahob_logic::simplify::{nnf, simplify};
+use jahob_logic::subst::{free_vars, fresh_name, substitute, Subst};
+use jahob_logic::types::Type;
+use jahob_logic::Sequent;
+use std::collections::BTreeSet;
+
+/// Options for the SMT translation.
+#[derive(Debug, Clone)]
+pub struct SmtOptions {
+    /// Variables known to denote sets.
+    pub set_vars: BTreeSet<String>,
+    /// Variables known to denote functions/fields.
+    pub fun_vars: BTreeSet<String>,
+    /// Maximum number of instances generated per quantified assumption.
+    pub max_instances_per_quantifier: usize,
+    /// Number of instantiation rounds (new terms produced by one round can trigger the
+    /// next).
+    pub instantiation_rounds: usize,
+    /// Maximum number of ground clauses before giving up.
+    pub max_clauses: usize,
+    /// DPLL search limits.
+    pub ground_limits: GroundLimits,
+}
+
+impl Default for SmtOptions {
+    fn default() -> Self {
+        SmtOptions {
+            set_vars: BTreeSet::new(),
+            fun_vars: BTreeSet::new(),
+            max_instances_per_quantifier: 96,
+            instantiation_rounds: 2,
+            max_clauses: 9_000,
+            ground_limits: GroundLimits::default(),
+        }
+    }
+}
+
+/// Result of an SMT proof attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmtResult {
+    /// `true` if the sequent was proved.
+    pub proved: bool,
+    /// The underlying ground outcome (`Unsat` means proved).
+    pub outcome: GroundOutcome,
+    /// Number of ground clauses given to the solver.
+    pub clauses: usize,
+}
+
+/// Attempts to prove the sequent by refuting its negation modulo EUF + LIA.
+pub fn prove_sequent(sequent: &Sequent, options: &SmtOptions) -> SmtResult {
+    let sequent = sequent.without_comments();
+    let set_typed = |f: &Form| -> bool {
+        looks_like_set(f)
+            || match f {
+                Form::Var(v) => options.set_vars.contains(v),
+                Form::App(head, _) => {
+                    matches!(head.as_ref(), Form::Var(v) if options.set_vars.contains(v))
+                }
+                _ => false,
+            }
+    };
+    let prep = |f: &Form| -> Form {
+        let f = expand_function_equalities(f, &options.fun_vars);
+        let f = expand_field_write_applications(&f);
+        let f = expand_complex_equalities(&f, &set_typed);
+        let f = expand_set_membership(&f);
+        let f = lift_ite(&f);
+        simplify(&f)
+    };
+    let assumptions: Vec<Form> = sequent.assumptions.iter().map(prep).collect();
+    let goal = prep(&sequent.goal);
+    let (assumptions, goal) = approximate_implication(&assumptions, &goal, &smt_atom_filter);
+
+    // The refutation target: assumptions and the negated goal.
+    let mut formulas: Vec<Form> = assumptions;
+    formulas.push(Form::not(goal));
+    let formulas: Vec<Form> = formulas.iter().map(|f| nnf(f)).collect();
+
+    // Ground the quantifiers.
+    let mut grounder = Grounder {
+        next_skolem: 0,
+        options: options.clone(),
+    };
+    let mut candidates = collect_candidate_terms(&formulas, &options.fun_vars);
+    if candidates.is_empty() {
+        candidates.insert(Form::null());
+    }
+    // Iterated instantiation: each round re-grounds the original formulas with the
+    // candidate pool enriched by the terms (Skolem constants, applications) the previous
+    // round produced.
+    let mut ground: Vec<Form> = Vec::new();
+    for _round in 0..options.instantiation_rounds.max(1) {
+        ground = formulas
+            .iter()
+            .map(|f| grounder.ground(f, &candidates))
+            .collect();
+        let mut enriched = collect_candidate_terms(&ground, &options.fun_vars);
+        enriched.extend(candidates.iter().cloned());
+        if enriched.len() == candidates.len() {
+            break;
+        }
+        candidates = enriched;
+    }
+
+    // Give meaning to integer division and remainder by positive literal divisors (the
+    // priority queue's parent/child index arithmetic needs this).
+    let ground = define_divisions(ground);
+
+    // Convert to ground clauses.
+    let mut clauses: Vec<GClause> = Vec::new();
+    for f in &ground {
+        match formula_to_clauses(f, options.max_clauses.saturating_sub(clauses.len())) {
+            Some(cs) => clauses.extend(cs),
+            None => {
+                return SmtResult {
+                    proved: false,
+                    outcome: GroundOutcome::Unknown,
+                    clauses: clauses.len(),
+                }
+            }
+        }
+        if clauses.len() > options.max_clauses {
+            return SmtResult {
+                proved: false,
+                outcome: GroundOutcome::Unknown,
+                clauses: clauses.len(),
+            };
+        }
+    }
+    let n = clauses.len();
+    let outcome = check_clauses(&clauses, options.ground_limits);
+    SmtResult {
+        proved: outcome == GroundOutcome::Unsat,
+        outcome,
+        clauses: n,
+    }
+}
+
+/// Atoms representable in the ground SMT fragment.
+fn smt_atom_filter(atom: &Form, _polarity: Polarity) -> Option<Form> {
+    if atom.contains_const(&Const::Card)
+        || atom.contains_const(&Const::Tree)
+        || atom.contains_const(&Const::Old)
+        || atom.contains_binder(Binder::Comprehension)
+        || (atom.contains_binder(Binder::Lambda) && atom.as_app_of(&Const::Rtrancl).is_none())
+    {
+        return None;
+    }
+    Some(atom.clone())
+}
+
+/// Expands equalities between function-typed expressions pointwise (same rewrite as the
+/// first-order interface).
+fn expand_function_equalities(form: &Form, fun_vars: &BTreeSet<String>) -> Form {
+    let is_fun = |f: &Form| -> bool {
+        match f {
+            Form::Var(v) => fun_vars.contains(v),
+            // A partial `fieldWrite f x v` (exactly three arguments) denotes a function;
+            // with a fourth argument it is already applied to a point and is a value.
+            Form::App(head, args) => {
+                matches!(head.as_ref(), Form::Const(Const::FieldWrite)) && args.len() == 3
+            }
+            _ => false,
+        }
+    };
+    rewrite_fixpoint(form, &|f| {
+        let [l, r] = f.as_app_of(&Const::Eq)? else {
+            return None;
+        };
+        if is_fun(l) || is_fun(r) {
+            let avoid = free_vars(f);
+            let z = fresh_name("ptr", &avoid);
+            return Some(Form::forall(
+                z.clone(),
+                Type::Obj,
+                Form::eq(
+                    Form::app(l.clone(), vec![Form::var(z.clone())]),
+                    Form::app(r.clone(), vec![Form::var(z)]),
+                ),
+            ));
+        }
+        None
+    })
+}
+
+/// Replaces ground occurrences of `a div k` and `a mod k` (for positive integer literals
+/// `k`) by fresh variables constrained with the floor-division axioms
+/// `k*q <= a < k*(q+1)`, appending the defining constraints as extra formulas. Divisions
+/// by non-literal or non-positive divisors are left uninterpreted.
+fn define_divisions(formulas: Vec<Form>) -> Vec<Form> {
+    use std::cell::RefCell;
+    use std::collections::BTreeMap;
+
+    // (numerator, divisor) -> quotient variable name
+    let quotients: RefCell<BTreeMap<(Form, i64), String>> = RefCell::new(BTreeMap::new());
+    let quotient_of = |a: &Form, k: i64| -> String {
+        let mut map = quotients.borrow_mut();
+        let next = map.len();
+        map.entry((a.clone(), k))
+            .or_insert_with(|| format!("smt$div{next}"))
+            .clone()
+    };
+
+    let positive_divisor = |f: &Form| -> Option<i64> {
+        match f {
+            Form::Const(Const::IntLit(k)) if *k > 0 => Some(*k),
+            _ => None,
+        }
+    };
+
+    let rewritten: Vec<Form> = formulas
+        .iter()
+        .map(|f| {
+            rewrite_fixpoint(f, &|t| {
+                if let Form::App(head, args) = t {
+                    if args.len() == 2 {
+                        if let Some(k) = positive_divisor(&args[1]) {
+                            match head.as_ref() {
+                                Form::Const(Const::Div) => {
+                                    return Some(Form::var(quotient_of(&args[0], k)));
+                                }
+                                Form::Const(Const::Mod) => {
+                                    // a mod k = a - k * (a div k)
+                                    let q = Form::var(quotient_of(&args[0], k));
+                                    return Some(Form::minus(
+                                        args[0].clone(),
+                                        Form::app(
+                                            Form::Const(Const::Times),
+                                            vec![Form::int(k), q],
+                                        ),
+                                    ));
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+                None
+            })
+        })
+        .collect();
+
+    let mut out = rewritten;
+    for ((numerator, k), q) in quotients.into_inner() {
+        let qv = Form::var(q);
+        let kq = Form::app(Form::Const(Const::Times), vec![Form::int(k), qv]);
+        // k*q <= a  and  a < k*q + k  (floor division, matching Isabelle/HOL's `div`).
+        out.push(Form::cmp(Const::LtEq, kq.clone(), numerator.clone()));
+        out.push(Form::cmp(
+            Const::Lt,
+            numerator,
+            Form::plus(kq, Form::int(k)),
+        ));
+    }
+    out
+}
+
+/// Collects ground candidate terms for quantifier instantiation: free variables and
+/// ground applications occurring in the formulas (object-like terms, not boolean
+/// connectives).
+fn collect_candidate_terms(formulas: &[Form], fun_vars: &BTreeSet<String>) -> BTreeSet<Form> {
+    let mut out = BTreeSet::new();
+    for f in formulas {
+        collect_terms(f, &mut out);
+    }
+    out.insert(Form::null());
+    // Function-valued variables (fields) are not useful instantiation candidates for
+    // object/integer quantifiers; dropping them keeps the pool focused.
+    out.retain(|f| {
+        !matches!(&f, Form::Var(v)
+            if fun_vars.contains(v.as_str()) || v == "arrayState" || v == "old$arrayState")
+    });
+    // Cap the candidate pool to keep instantiation bounded.
+    out.into_iter().take(20).collect()
+}
+
+fn collect_terms(form: &Form, out: &mut BTreeSet<Form>) {
+    match form {
+        Form::Var(_) => {
+            out.insert(form.clone());
+        }
+        Form::Const(Const::Null) => {
+            out.insert(form.clone());
+        }
+        Form::App(head, args) => {
+            // Term-level applications of variables are candidates themselves (f x).
+            if matches!(head.as_ref(), Form::Var(_)) && free_vars(form).len() == free_vars(form).len() {
+                if args.len() == 1 && matches!(args[0], Form::Var(_) | Form::Const(Const::Null)) {
+                    out.insert(form.clone());
+                }
+            }
+            for a in args {
+                collect_terms(a, out);
+            }
+        }
+        Form::Binder(_, _, body) => collect_terms(body, out),
+        Form::Typed(f, _) => collect_terms(f, out),
+        _ => {}
+    }
+}
+
+struct Grounder {
+    next_skolem: u32,
+    options: SmtOptions,
+}
+
+impl Grounder {
+    /// Removes quantifiers from an NNF formula by instantiation (universals) and
+    /// skolemisation (existentials).
+    fn ground(&mut self, form: &Form, candidates: &BTreeSet<Form>) -> Form {
+        match form {
+            Form::Binder(Binder::Forall, vars, body) => {
+                let grounded_body = self.ground(body, candidates);
+                let mut instances = Vec::new();
+                let mut assignments: Vec<Subst> = vec![Subst::new()];
+                for (v, _) in vars {
+                    let mut next = Vec::new();
+                    for base in &assignments {
+                        for cand in candidates {
+                            let mut s = base.clone();
+                            s.insert(v.clone(), cand.clone());
+                            next.push(s);
+                            if next.len() >= self.options.max_instances_per_quantifier {
+                                break;
+                            }
+                        }
+                        if next.len() >= self.options.max_instances_per_quantifier {
+                            break;
+                        }
+                    }
+                    assignments = next;
+                }
+                for s in assignments {
+                    instances.push(simplify(&substitute(&grounded_body, &s)));
+                }
+                Form::and(instances)
+            }
+            Form::Binder(Binder::Exists, vars, body) => {
+                let mut s = Subst::new();
+                for (v, _) in vars {
+                    let name = format!("smt$sk{}", self.next_skolem);
+                    self.next_skolem += 1;
+                    s.insert(v.clone(), Form::var(name));
+                }
+                let skolemised = substitute(body, &s);
+                self.ground(&skolemised, candidates)
+            }
+            Form::App(head, args) => {
+                if let Form::Const(c) = head.as_ref() {
+                    if matches!(c, Const::And | Const::Or | Const::Not) {
+                        return Form::app(
+                            head.as_ref().clone(),
+                            args.iter().map(|a| self.ground(a, candidates)).collect(),
+                        );
+                    }
+                }
+                form.clone()
+            }
+            _ => form.clone(),
+        }
+    }
+}
+
+/// Converts a quantifier-free NNF formula into ground clauses (CNF by distribution, with
+/// a budget). Returns `None` when the budget is exceeded.
+fn formula_to_clauses(form: &Form, budget: usize) -> Option<Vec<GClause>> {
+    fn go(form: &Form, positive: bool, budget: usize) -> Option<Vec<GClause>> {
+        if let Form::App(head, args) = form {
+            if let Form::Const(c) = head.as_ref() {
+                match (c, positive) {
+                    (Const::Not, _) => return go(&args[0], !positive, budget),
+                    (Const::And, true) | (Const::Or, false) => {
+                        let mut out = Vec::new();
+                        for a in args {
+                            out.extend(go(a, positive, budget)?);
+                            if out.len() > budget {
+                                return None;
+                            }
+                        }
+                        return Some(out);
+                    }
+                    (Const::Or, true) | (Const::And, false) => {
+                        let mut acc: Vec<GClause> = vec![Vec::new()];
+                        for a in args {
+                            let sub = go(a, positive, budget)?;
+                            let mut next = Vec::new();
+                            for base in &acc {
+                                for s in &sub {
+                                    let mut cl = base.clone();
+                                    cl.extend(s.clone());
+                                    next.push(cl);
+                                    if next.len() > budget {
+                                        return None;
+                                    }
+                                }
+                            }
+                            acc = next;
+                        }
+                        return Some(acc);
+                    }
+                    (Const::Impl, _) => {
+                        let expanded =
+                            Form::or(vec![Form::not(args[0].clone()), args[1].clone()]);
+                        return go(&expanded, positive, budget);
+                    }
+                    (Const::Iff, _) => {
+                        let expanded = Form::and(vec![
+                            Form::implies(args[0].clone(), args[1].clone()),
+                            Form::implies(args[1].clone(), args[0].clone()),
+                        ]);
+                        return go(&expanded, positive, budget);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        match form {
+            Form::Const(Const::BoolLit(b)) => {
+                if *b == positive {
+                    Some(Vec::new())
+                } else {
+                    Some(vec![Vec::new()])
+                }
+            }
+            // Remaining quantifiers (nested under atoms we could not instantiate) are
+            // approximated by polarity.
+            Form::Binder(Binder::Forall | Binder::Exists, _, _) => {
+                if positive {
+                    Some(vec![Vec::new()])
+                } else {
+                    Some(Vec::new())
+                }
+            }
+            atom => {
+                let lit = GLiteral {
+                    positive,
+                    atom: convert_atom(atom),
+                };
+                Some(vec![vec![lit]])
+            }
+        }
+    }
+    go(form, true, budget)
+}
+
+/// Converts a HOL atom to a ground SMT atom.
+fn convert_atom(atom: &Form) -> GAtom {
+    if let Form::App(head, args) = atom {
+        if let Form::Const(c) = head.as_ref() {
+            match (c, args.as_slice()) {
+                (Const::Eq, [l, r]) => return GAtom::Eq(convert_term(l), convert_term(r)),
+                (Const::Lt, [l, r]) => return GAtom::Lt(convert_term(l), convert_term(r)),
+                (Const::Gt, [l, r]) => return GAtom::Lt(convert_term(r), convert_term(l)),
+                (Const::LtEq, [l, r]) => return GAtom::Le(convert_term(l), convert_term(r)),
+                (Const::GtEq, [l, r]) => return GAtom::Le(convert_term(r), convert_term(l)),
+                (Const::Elem, [e, s]) => return convert_membership(e, s),
+                (Const::Rtrancl, parts) if parts.len() == 3 => {
+                    return GAtom::Pred(
+                        format!("reach${}", parts[0]),
+                        vec![convert_term(&parts[1]), convert_term(&parts[2])],
+                    )
+                }
+                _ => {}
+            }
+        }
+        if let Form::Var(p) = head.as_ref() {
+            return GAtom::Pred(format!("p${p}"), args.iter().map(convert_term).collect());
+        }
+    }
+    if let Form::Var(p) = atom {
+        return GAtom::Pred(format!("p${p}"), Vec::new());
+    }
+    GAtom::Pred(format!("opaque${atom}"), Vec::new())
+}
+
+fn convert_membership(elem: &Form, set: &Form) -> GAtom {
+    let mut components = match elem.as_app_of(&Const::Tuple) {
+        Some(parts) => parts.iter().map(convert_term).collect::<Vec<_>>(),
+        None => vec![convert_term(elem)],
+    };
+    match set {
+        Form::Var(s) => GAtom::Pred(format!("in${s}"), components),
+        Form::App(head, args) if matches!(head.as_ref(), Form::Var(_)) => {
+            let Form::Var(f) = head.as_ref() else { unreachable!() };
+            let mut all: Vec<GTerm> = args.iter().map(convert_term).collect();
+            all.append(&mut components);
+            GAtom::Pred(format!("in${f}"), all)
+        }
+        other => {
+            components.push(convert_term(other));
+            GAtom::Pred("in$".to_string(), components)
+        }
+    }
+}
+
+/// Converts a HOL term to a ground SMT term.
+fn convert_term(term: &Form) -> GTerm {
+    match term {
+        Form::Var(v) => GTerm::constant(v.clone()),
+        Form::Const(Const::Null) => GTerm::constant("null"),
+        Form::Const(Const::IntLit(n)) => GTerm::Int(*n),
+        Form::Const(Const::BoolLit(b)) => GTerm::constant(format!("bool${b}")),
+        Form::Const(Const::EmptySet) => GTerm::constant("emptyset"),
+        Form::Typed(inner, _) => convert_term(inner),
+        Form::App(head, args) => {
+            let conv: Vec<GTerm> = args.iter().map(convert_term).collect();
+            match head.as_ref() {
+                Form::Var(f) => GTerm::App(f.clone(), conv),
+                Form::Const(Const::Plus) if conv.len() == 2 => {
+                    let mut it = conv.into_iter();
+                    GTerm::Add(Box::new(it.next().expect("2 args")), Box::new(it.next().expect("2 args")))
+                }
+                Form::Const(Const::Minus) if conv.len() == 2 => {
+                    let mut it = conv.into_iter();
+                    GTerm::Sub(Box::new(it.next().expect("2 args")), Box::new(it.next().expect("2 args")))
+                }
+                Form::Const(Const::Times) if conv.len() == 2 => match (&conv[0], &conv[1]) {
+                    (GTerm::Int(k), other) | (other, GTerm::Int(k)) => {
+                        GTerm::Mul(*k, Box::new(other.clone()))
+                    }
+                    _ => GTerm::App("int$times".into(), conv),
+                },
+                Form::Const(Const::UMinus) if conv.len() == 1 => {
+                    GTerm::Sub(Box::new(GTerm::Int(0)), Box::new(conv.into_iter().next().expect("1 arg")))
+                }
+                Form::Const(Const::ArrayRead) => GTerm::App("array$read".into(), conv),
+                Form::Const(Const::ArrayWrite) => GTerm::App("array$write".into(), conv),
+                Form::Const(Const::FieldWrite) => GTerm::App("field$write".into(), conv),
+                Form::Const(Const::Union) => GTerm::App("set$union".into(), conv),
+                Form::Const(Const::Inter) => GTerm::App("set$inter".into(), conv),
+                Form::Const(Const::Diff) => GTerm::App("set$diff".into(), conv),
+                Form::Const(Const::FiniteSet) => GTerm::App("set$mk".into(), conv),
+                Form::Const(Const::Tuple) => GTerm::App("tuple".into(), conv),
+                Form::Const(Const::Card) => GTerm::App("card".into(), conv),
+                _ => GTerm::App(format!("opaque${head}"), conv),
+            }
+        }
+        other => GTerm::constant(format!("opaque${other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jahob_logic::parse_form;
+
+    fn seq(assumptions: &[&str], goal: &str) -> Sequent {
+        Sequent::new(
+            assumptions.iter().map(|a| parse_form(a).expect("parse")).collect(),
+            parse_form(goal).expect("parse"),
+        )
+    }
+
+    fn proves(assumptions: &[&str], goal: &str) -> bool {
+        prove_sequent(&seq(assumptions, goal), &SmtOptions::default()).proved
+    }
+
+    #[test]
+    fn proves_ground_euf_sequents() {
+        assert!(proves(&["x = y", "y = z"], "x = z"));
+        assert!(proves(&["x = y"], "x..next = y..next"));
+        assert!(!proves(&["x = y"], "y = z"));
+    }
+
+    #[test]
+    fn proves_arithmetic_sequents() {
+        assert!(proves(&["0 <= size"], "0 <= size + 1"));
+        assert!(proves(&["size = old_size + 1", "0 <= old_size"], "1 <= size"));
+        assert!(!proves(&["0 <= size"], "1 <= size"));
+    }
+
+    #[test]
+    fn proves_quantified_assumptions_by_instantiation() {
+        assert!(proves(
+            &["ALL x. x : Node --> x..next : Node", "n : Node"],
+            "n..next : Node"
+        ));
+        assert!(proves(
+            &["ALL x y. x..f = y..f", "a : S"],
+            "b..f = c..f"
+        ));
+    }
+
+    #[test]
+    fn proves_membership_goals_with_set_expansion() {
+        assert!(proves(&["x : content"], "x : content Un {y}"));
+        assert!(proves(&["x : content", "x ~= y"], "x : content - {y}"));
+        assert!(!proves(&["x : content"], "x : content - {y}"));
+    }
+
+    #[test]
+    fn proves_field_update_reasoning() {
+        let mut opts = SmtOptions::default();
+        opts.fun_vars.insert("next".to_string());
+        let s = seq(
+            &["next1 = next(x := y)", "z ~= x"],
+            "next1 z = next z",
+        );
+        let mut opts2 = opts.clone();
+        opts2.fun_vars.insert("next1".to_string());
+        assert!(prove_sequent(&s, &opts2).proved);
+    }
+
+    #[test]
+    fn proves_null_check_obligations() {
+        assert!(proves(
+            &["current ~= null", "current : Node | current = null"],
+            "current : Node"
+        ));
+    }
+
+    #[test]
+    fn proves_division_bounds() {
+        // The priority queue's parent index: (i - 1) div 2 is non-negative when 1 <= i.
+        assert!(proves(&["1 <= i", "p = (i - 1) div 2"], "0 <= p"));
+        // Without the lower bound on i the quotient can be negative.
+        assert!(!proves(&["p = (i - 1) div 2"], "0 <= p"));
+        // Remainders by a positive literal are bounded.
+        assert!(proves(&["m = i mod 4"], "m < 4"));
+        assert!(proves(&["m = i mod 4"], "0 <= m"));
+        assert!(!proves(&["m = i mod 4"], "m < 3"));
+    }
+
+    #[test]
+    fn does_not_prove_unsupported_cardinality_goals() {
+        // Cardinality is outside the SMT fragment; the goal is approximated to False.
+        assert!(!proves(&["content = {}"], "card content = 0"));
+    }
+}

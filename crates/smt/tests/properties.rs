@@ -1,0 +1,92 @@
+//! Property-based tests of the ground solver: the DPLL core must agree with a
+//! brute-force truth-table check on purely propositional problems, and theory answers
+//! must be sound with respect to simple integer models.
+
+use jahob_smt::ground::{check_clauses, GAtom, GClause, GLiteral, GTerm, GroundLimits, GroundOutcome};
+use proptest::prelude::*;
+
+/// A random propositional clause set over `num_atoms` nullary predicates.
+fn arb_clauses(num_atoms: usize) -> impl Strategy<Value = Vec<GClause>> {
+    let literal = (0..num_atoms, prop::bool::ANY)
+        .prop_map(|(i, positive)| GLiteral {
+            positive,
+            atom: GAtom::Pred(format!("p{i}"), Vec::new()),
+        });
+    let clause = proptest::collection::vec(literal, 1..4);
+    proptest::collection::vec(clause, 1..6)
+}
+
+/// Brute-force satisfiability over the `num_atoms` propositional atoms.
+fn brute_force_sat(clauses: &[GClause], num_atoms: usize) -> bool {
+    let atom_name = |a: &GAtom| -> usize {
+        match a {
+            GAtom::Pred(p, _) => p[1..].parse().expect("p<i> atom"),
+            _ => unreachable!("propositional problems only"),
+        }
+    };
+    (0..(1usize << num_atoms)).any(|model| {
+        clauses.iter().all(|clause| {
+            clause.iter().any(|lit| {
+                let value = model & (1 << atom_name(&lit.atom)) != 0;
+                value == lit.positive
+            })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// On propositional problems the DPLL core agrees exactly with the truth table.
+    #[test]
+    fn dpll_agrees_with_truth_table(clauses in arb_clauses(5)) {
+        let expected = brute_force_sat(&clauses, 5);
+        let outcome = check_clauses(&clauses, GroundLimits::default());
+        match outcome {
+            GroundOutcome::Sat => prop_assert!(expected, "solver said Sat, truth table says Unsat"),
+            GroundOutcome::Unsat => prop_assert!(!expected, "solver said Unsat, truth table says Sat"),
+            GroundOutcome::Unknown => {}
+        }
+    }
+
+    /// Bounds that pin a variable into an empty interval are refuted; satisfiable
+    /// interval constraints are not.
+    #[test]
+    fn interval_constraints_are_classified_correctly(lo in -20i64..20, width in 0i64..10) {
+        let x = GTerm::constant("x");
+        let hi = lo + width;
+        let sat = vec![
+            vec![GLiteral::pos(GAtom::Le(GTerm::Int(lo), x.clone()))],
+            vec![GLiteral::pos(GAtom::Le(x.clone(), GTerm::Int(hi)))],
+        ];
+        prop_assert_eq!(check_clauses(&sat, GroundLimits::default()), GroundOutcome::Sat);
+        let unsat = vec![
+            vec![GLiteral::pos(GAtom::Le(GTerm::Int(hi + 1), x.clone()))],
+            vec![GLiteral::pos(GAtom::Le(x.clone(), GTerm::Int(lo)))],
+        ];
+        prop_assert_eq!(check_clauses(&unsat, GroundLimits::default()), GroundOutcome::Unsat);
+    }
+
+    /// Chains of ground equalities propagate through congruence closure: asserting
+    /// `c0 = c1, ..., c_{n-1} = c_n` and `f(c0) != f(c_n)` is unsatisfiable, while
+    /// leaving one link out keeps the set satisfiable.
+    #[test]
+    fn equality_chains_are_congruent(n in 1usize..6) {
+        let cst = |i: usize| GTerm::constant(format!("c{i}"));
+        let f = |t: GTerm| GTerm::App("f".into(), vec![t]);
+        let mut clauses: Vec<GClause> = (0..n)
+            .map(|i| vec![GLiteral::pos(GAtom::Eq(cst(i), cst(i + 1)))])
+            .collect();
+        clauses.push(vec![GLiteral::neg(GAtom::Eq(f(cst(0)), f(cst(n))))]);
+        prop_assert_eq!(check_clauses(&clauses, GroundLimits::default()), GroundOutcome::Unsat);
+
+        // Remove the middle link: a model exists again.
+        let broken: Vec<GClause> = clauses
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != n / 2)
+            .map(|(_, c)| c.clone())
+            .collect();
+        prop_assert_eq!(check_clauses(&broken, GroundLimits::default()), GroundOutcome::Sat);
+    }
+}

@@ -1,0 +1,23 @@
+//! # jahob-vcgen
+//!
+//! Verification-condition generation for the Jahob reproduction (§4 of *Full Functional
+//! Verification of Linked Data Structures*, PLDI 2008):
+//!
+//! * [`command`] — extended and simple guarded commands (Figures 8–9) and the desugaring
+//!   of executable and proof constructs (Figures 11–12), including the dependency
+//!   tracking for defined specification variables (§4.4);
+//! * [`wlp`] — weakest preconditions (Figure 10), splitting of verification conditions
+//!   into independent proof obligations (Figure 13), and the `by`-hint plumbing.
+//!
+//! The frontend (`jahob-frontend`) produces [`command::Command`] sequences from annotated
+//! Java methods; the prover dispatcher (`jahob-provers`) consumes the resulting
+//! [`wlp::ProofObligation`]s.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod command;
+pub mod wlp;
+
+pub use command::{collect_modified, desugar, Command, DesugarEnv, Simple};
+pub use wlp::{split, verification_conditions, wlp, ProofObligation};

@@ -1,0 +1,47 @@
+//! Specifying and verifying a *new* data structure against the public API: a bounded
+//! stack with a set-valued abstract state and a size bound, illustrating contracts,
+//! ghost variables, class invariants and the verification report.
+//!
+//! Run with `cargo run --example custom_structure`.
+
+use jahob_repro::frontend::{ClassDef, Expr, JavaType, Lvalue, MethodBuilder, Program, Stmt};
+use jahob_repro::jahob::{verify_program, VerifyOptions};
+use jahob_repro::logic::parse_form;
+
+fn main() {
+    let stack = ClassDef::new("BoundedStack")
+        .static_field("elems", JavaType::ObjArray)
+        .static_field("top", JavaType::Int)
+        .ghost_var("content", "obj set", true)
+        .invariant("topNonNeg", "0 <= top")
+        .invariant("elemsNotNull", "elems ~= null")
+        .invariant("topBound", "top <= Array.length elems")
+        .method(
+            MethodBuilder::public("push")
+                .static_method()
+                .param("x", JavaType::Ref("Object".into()))
+                .requires("x ~= null & x ~: content & top < Array.length elems")
+                .modifies(&["content"])
+                .ensures("content = old content Un {x} & top = old top + 1")
+                .body(vec![
+                    Stmt::Assign(
+                        Lvalue::ArrayElem(Expr::Static("elems".into()), Expr::Static("top".into())),
+                        Expr::local("x"),
+                    ),
+                    Stmt::Assign(
+                        Lvalue::Static("top".into()),
+                        Expr::Plus(Box::new(Expr::Static("top".into())), Box::new(Expr::IntLit(1))),
+                    ),
+                    Stmt::GhostAssign {
+                        target: "content".into(),
+                        receiver: None,
+                        value: parse_form("content Un {x}").expect("ghost update"),
+                    },
+                ])
+                .build(),
+        );
+    let program = Program::new(vec![stack]);
+    for result in verify_program(&program, &VerifyOptions::default()) {
+        println!("{}", result.render());
+    }
+}

@@ -1,0 +1,17 @@
+//! Quickstart: verify a tiny annotated data structure end to end.
+//!
+//! Builds a singly linked list with a set interface, runs the full Jahob pipeline
+//! (frontend → guarded commands → weakest preconditions → splitting → integrated
+//! reasoning) and prints a Figure 7-style verification report per method.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use jahob_repro::jahob::{verify_program, VerifyOptions};
+
+fn main() {
+    let program = jahob_repro::jahob::suite::singly_linked_list();
+    let options = VerifyOptions::default();
+    for result in verify_program(&program, &options) {
+        println!("{}", result.render());
+    }
+}

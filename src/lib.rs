@@ -1,0 +1,15 @@
+//! Umbrella crate for the Jahob reproduction workspace.
+//!
+//! Re-exports the public crates so the root `examples/` and `tests/` can use a single
+//! dependency. See the individual crates for documentation.
+pub use jahob;
+pub use jahob_arith as arith;
+pub use jahob_automata as automata;
+pub use jahob_bapa as bapa;
+pub use jahob_folp as folp;
+pub use jahob_frontend as frontend;
+pub use jahob_logic as logic;
+pub use jahob_mona as mona;
+pub use jahob_provers as provers;
+pub use jahob_smt as smt;
+pub use jahob_vcgen as vcgen;
