@@ -199,7 +199,10 @@ impl Constraint {
     pub fn lt(lhs: LinExpr, rhs: LinExpr) -> Self {
         let mut e = lhs.sub(&rhs);
         e.add_constant(1);
-        Constraint { expr: e, rel: Rel::Le }
+        Constraint {
+            expr: e,
+            rel: Rel::Le,
+        }
     }
 
     /// The constraint `lhs >= rhs`.

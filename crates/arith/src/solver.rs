@@ -68,7 +68,10 @@ pub fn check_with_limits(constraints: &[Constraint], limits: Limits) -> Outcome 
     loop {
         // Constant equalities decide themselves.
         equalities.retain(|e| !(e.is_constant() && e.constant_term() == 0));
-        if equalities.iter().any(|e| e.is_constant() && e.constant_term() != 0) {
+        if equalities
+            .iter()
+            .any(|e| e.is_constant() && e.constant_term() != 0)
+        {
             return Outcome::Unsat;
         }
         // Divisibility check: gcd of coefficients must divide the constant.
@@ -79,12 +82,13 @@ pub fn check_with_limits(constraints: &[Constraint], limits: Limits) -> Outcome 
             }
         }
         // Find an equality with a +/-1 coefficient and substitute it away.
-        let target = equalities.iter().enumerate().find_map(|(i, e)| {
-            e.iter()
-                .find(|(_, c)| c.abs() == 1)
-                .map(|(v, c)| (i, v, c))
-        });
-        let Some((idx, var, coeff)) = target else { break };
+        let target = equalities
+            .iter()
+            .enumerate()
+            .find_map(|(i, e)| e.iter().find(|(_, c)| c.abs() == 1).map(|(v, c)| (i, v, c)));
+        let Some((idx, var, coeff)) = target else {
+            break;
+        };
         let eq = equalities.remove(idx);
         // coeff * var + rest = 0  =>  var = -(rest) / coeff, and coeff is +/-1.
         let mut rest = eq.clone();

@@ -28,7 +28,12 @@ impl Dfa {
     /// # Panics
     ///
     /// Panics if the transition table is not complete or refers to unknown states.
-    pub fn new(num_tracks: usize, initial: State, accepting: Vec<bool>, trans: Vec<Vec<State>>) -> Self {
+    pub fn new(
+        num_tracks: usize,
+        initial: State,
+        accepting: Vec<bool>,
+        trans: Vec<Vec<State>>,
+    ) -> Self {
         let n = accepting.len();
         let symbols = 1usize << num_tracks;
         assert_eq!(trans.len(), n, "transition table must cover every state");
@@ -315,12 +320,7 @@ mod tests {
 
     /// DFA over one track accepting words with an even number of 1s.
     fn even_ones() -> Dfa {
-        Dfa::new(
-            1,
-            0,
-            vec![true, false],
-            vec![vec![0, 1], vec![1, 0]],
-        )
+        Dfa::new(1, 0, vec![true, false], vec![vec![0, 1], vec![1, 0]])
     }
 
     /// DFA over one track accepting words containing at least one 1.

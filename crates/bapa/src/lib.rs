@@ -38,7 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use jahob_arith::{check_with_limits, Constraint, LinExpr, Limits, Outcome, VarId};
+use jahob_arith::{check_with_limits, Constraint, Limits, LinExpr, Outcome, VarId};
 use jahob_logic::approx::{approximate_implication, Polarity};
 use jahob_logic::form::{Const, Form};
 use jahob_logic::simplify::{nnf, simplify};
@@ -278,9 +278,9 @@ impl VennEnv {
             }
             Form::Const(Const::IntLit(_)) | Form::Const(Const::Null) => true,
             Form::App(head, args) => match head.as_ref() {
-                Form::Const(Const::Plus) | Form::Const(Const::Minus) | Form::Const(Const::UMinus) => {
-                    args.iter().all(|a| self.scan_term(a))
-                }
+                Form::Const(Const::Plus)
+                | Form::Const(Const::Minus)
+                | Form::Const(Const::UMinus) => args.iter().all(|a| self.scan_term(a)),
                 Form::Const(Const::Card) => args.len() == 1 && self.scan_set(&args[0]),
                 _ => false,
             },
@@ -466,7 +466,10 @@ impl ConstraintBuilder {
                 true
             }
             (Const::Eq, [l, r]) => {
-                if is_set_expr(l) && is_set_expr(r) && (self.is_known_set(l) || self.is_known_set(r)) {
+                if is_set_expr(l)
+                    && is_set_expr(r)
+                    && (self.is_known_set(l) || self.is_known_set(r))
+                {
                     let sl = SetDenotation::of_form(&self.env, l);
                     let sr = SetDenotation::of_form(&self.env, r);
                     let lr = self.set_cardinality(&sl.diff(&sr));
@@ -612,7 +615,9 @@ impl SetDenotation {
         };
         let bit = 1u32 << idx;
         SetDenotation {
-            regions: (0..(1u32 << env.sets.len())).filter(|r| r & bit != 0).collect(),
+            regions: (0..(1u32 << env.sets.len()))
+                .filter(|r| r & bit != 0)
+                .collect(),
         }
     }
 
@@ -688,7 +693,10 @@ mod tests {
 
     fn seq(assumptions: &[&str], goal: &str) -> Sequent {
         Sequent::new(
-            assumptions.iter().map(|a| parse_form(a).expect("parse")).collect(),
+            assumptions
+                .iter()
+                .map(|a| parse_form(a).expect("parse"))
+                .collect(),
             parse_form(goal).expect("parse"),
         )
     }
@@ -701,7 +709,11 @@ mod tests {
     fn proves_cardinality_of_insertion() {
         // The Figure 6 sized-list obligation: size invariant is preserved by addNew.
         assert!(proves(
-            &["size = card content", "x ~: content", "content1 = content Un {x}"],
+            &[
+                "size = card content",
+                "x ~: content",
+                "content1 = content Un {x}"
+            ],
             "size + 1 = card content1"
         ));
     }
@@ -765,7 +777,10 @@ mod tests {
             ..BapaOptions::default()
         };
         let r = prove_sequent(
-            &seq(&[], "card (a Un b Un c Un d) <= card a + card b + card c + card d"),
+            &seq(
+                &[],
+                "card (a Un b Un c Un d) <= card a + card b + card c + card d",
+            ),
             &opts,
         );
         assert!(!r.applicable);

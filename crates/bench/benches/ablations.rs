@@ -2,9 +2,9 @@
 //! (the dispatcher always receives split sequents), so the measurable ablations are the
 //! prover order and parallel dispatch (§5.2).
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use jahob::{suite, verify_task, VerifyOptions};
 use jahob_provers::ProverId;
+use std::time::Duration;
 
 fn ablations(c: &mut Criterion) {
     let program = suite::sized_list();

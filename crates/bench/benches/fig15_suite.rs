@@ -1,15 +1,18 @@
 //! Figure 15: per-data-structure verification statistics (sequents proved per prover and
 //! verification times) for the whole suite of §7.
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use jahob::{render_figure15, run_suite, suite, verify_program, VerifyOptions};
+use std::time::Duration;
 
 fn fig15(c: &mut Criterion) {
     // Per-structure timed benchmarks for three representative structures (a list, an
     // array-backed structure and a tree), giving the relative cost ordering; the full
     // per-structure table is emitted once below.
     for entry in suite::full_suite() {
-        if !matches!(entry.name, "Singly-Linked List" | "Array List" | "Binary Search Tree") {
+        if !matches!(
+            entry.name,
+            "Singly-Linked List" | "Array List" | "Binary Search Tree"
+        ) {
             continue;
         }
         let id = format!("fig15/{}", entry.name.replace(' ', "_"));

@@ -1,8 +1,8 @@
 //! Figure 7: verification of the sized list `addNew` method, which needs the combination
 //! of the syntactic prover, the SMT/FOL provers and the BAPA decision procedure.
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use jahob::{suite, verify_program, VerifyOptions};
+use std::time::Duration;
 
 fn fig7(c: &mut Criterion) {
     let program = suite::sized_list();

@@ -1,8 +1,8 @@
 //! Microbenchmarks of the individual reasoners on representative sequents (supports the
 //! §5.2 discussion of why cheap provers run first).
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use jahob_logic::{parse_form, Sequent};
+use std::time::Duration;
 
 fn sequent(assumptions: &[&str], goal: &str) -> Sequent {
     Sequent::new(
@@ -15,12 +15,23 @@ fn provers(c: &mut Criterion) {
     let trivial = sequent(&["x ~= null", "p & q"], "x ~= null");
     let arith = sequent(&["size = old_size + 1", "0 <= old_size"], "1 <= size");
     let card = sequent(
-        &["size = card content", "x ~: content", "content1 = content Un {x}"],
+        &[
+            "size = card content",
+            "x ~: content",
+            "content1 = content Un {x}",
+        ],
         "size + 1 = card content1",
     );
-    let monadic = sequent(&["ALL x. x : nodes --> x : alloc", "n : nodes"], "n : alloc");
+    let monadic = sequent(
+        &["ALL x. x : nodes --> x : alloc", "n : nodes"],
+        "n : alloc",
+    );
     let quantified = sequent(
-        &["ALL x. x : Node & x ~= null --> x..next : Node", "n : Node", "n ~= null"],
+        &[
+            "ALL x. x : Node & x ~= null --> x..next : Node",
+            "n : Node",
+            "n ~= null",
+        ],
         "n..next : Node",
     );
 

@@ -212,7 +212,11 @@ mod tests {
         assert!(
             proved * 3 >= total * 2,
             "automation below 2/3: {proved}/{total}\n{}",
-            results.iter().map(|r| r.render()).collect::<Vec<_>>().join("\n")
+            results
+                .iter()
+                .map(|r| r.render())
+                .collect::<Vec<_>>()
+                .join("\n")
         );
     }
 

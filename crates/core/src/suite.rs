@@ -54,11 +54,17 @@ pub fn sized_list() -> Program {
                         Lvalue::Field(Expr::local("n1"), "next".into()),
                         Expr::Static("root".into()),
                     ),
-                    Stmt::Assign(Lvalue::Field(Expr::local("n1"), "data".into()), Expr::local("x")),
+                    Stmt::Assign(
+                        Lvalue::Field(Expr::local("n1"), "data".into()),
+                        Expr::local("x"),
+                    ),
                     Stmt::Assign(Lvalue::Static("root".into()), Expr::local("n1")),
                     Stmt::Assign(
                         Lvalue::Static("size".into()),
-                        Expr::Plus(Box::new(Expr::Static("size".into())), Box::new(Expr::IntLit(1))),
+                        Expr::Plus(
+                            Box::new(Expr::Static("size".into())),
+                            Box::new(Expr::IntLit(1)),
+                        ),
                     ),
                     Stmt::GhostAssign {
                         target: "nodes".into(),
@@ -122,8 +128,14 @@ pub fn assoc_list() -> Program {
                         target: Lvalue::Local("n".into()),
                         class: "Node".into(),
                     },
-                    Stmt::Assign(Lvalue::Field(Expr::local("n"), "key".into()), Expr::local("k0")),
-                    Stmt::Assign(Lvalue::Field(Expr::local("n"), "value".into()), Expr::local("v0")),
+                    Stmt::Assign(
+                        Lvalue::Field(Expr::local("n"), "key".into()),
+                        Expr::local("k0"),
+                    ),
+                    Stmt::Assign(
+                        Lvalue::Field(Expr::local("n"), "value".into()),
+                        Expr::local("v0"),
+                    ),
                     Stmt::Assign(
                         Lvalue::Field(Expr::local("n"), "next".into()),
                         Expr::Static("first".into()),
@@ -148,7 +160,9 @@ pub fn assoc_list() -> Program {
                 .returns(JavaType::Bool)
                 .requires("first = null --> content = {}")
                 .ensures("result = True --> content = {}")
-                .body(vec![Stmt::Return(Some(Expr::is_null(Expr::Static("first".into()))))])
+                .body(vec![Stmt::Return(Some(Expr::is_null(Expr::Static(
+                    "first".into(),
+                ))))])
                 .build(),
         )
         .method(
@@ -201,7 +215,10 @@ pub fn singly_linked_list() -> Program {
                         target: Lvalue::Local("n".into()),
                         class: "SllNode".into(),
                     },
-                    Stmt::Assign(Lvalue::Field(Expr::local("n"), "data".into()), Expr::local("x")),
+                    Stmt::Assign(
+                        Lvalue::Field(Expr::local("n"), "data".into()),
+                        Expr::local("x"),
+                    ),
                     Stmt::Assign(
                         Lvalue::Field(Expr::local("n"), "next".into()),
                         Expr::Static("first".into()),
@@ -258,7 +275,10 @@ pub fn singly_linked_list() -> Program {
                         target: Lvalue::Local("n".into()),
                         class: "SllNode".into(),
                     },
-                    Stmt::Assign(Lvalue::Field(Expr::local("n"), "data".into()), Expr::local("x")),
+                    Stmt::Assign(
+                        Lvalue::Field(Expr::local("n"), "data".into()),
+                        Expr::local("x"),
+                    ),
                     Stmt::Assign(
                         Lvalue::Field(Expr::local("n"), "next".into()),
                         Expr::Static("first".into()),
@@ -283,7 +303,10 @@ pub fn singly_linked_list() -> Program {
                         target: Lvalue::Local("m".into()),
                         class: "SllNode".into(),
                     },
-                    Stmt::Assign(Lvalue::Field(Expr::local("m"), "data".into()), Expr::local("y")),
+                    Stmt::Assign(
+                        Lvalue::Field(Expr::local("m"), "data".into()),
+                        Expr::local("y"),
+                    ),
                     Stmt::Assign(
                         Lvalue::Field(Expr::local("m"), "next".into()),
                         Expr::Static("first".into()),
@@ -333,7 +356,10 @@ pub fn circular_list() -> Program {
                         target: Lvalue::Local("n".into()),
                         class: "DllNode".into(),
                     },
-                    Stmt::Assign(Lvalue::Field(Expr::local("n"), "data".into()), Expr::local("x")),
+                    Stmt::Assign(
+                        Lvalue::Field(Expr::local("n"), "data".into()),
+                        Expr::local("x"),
+                    ),
                     Stmt::Assign(
                         Lvalue::Field(Expr::local("n"), "next".into()),
                         Expr::Static("head".into()),
@@ -401,7 +427,10 @@ pub fn cursor_list() -> Program {
                 .modifies(&["toVisit"])
                 .ensures("toVisit = content")
                 .body(vec![
-                    Stmt::Assign(Lvalue::Static("cursor".into()), Expr::Static("first".into())),
+                    Stmt::Assign(
+                        Lvalue::Static("cursor".into()),
+                        Expr::Static("first".into()),
+                    ),
                     Stmt::GhostAssign {
                         target: "toVisit".into(),
                         receiver: None,
@@ -452,7 +481,10 @@ pub fn array_list() -> Program {
                 .ensures("content = old content Un {(old count, v)} & count = old count + 1")
                 .body(vec![
                     Stmt::Assign(
-                        Lvalue::ArrayElem(Expr::Static("elems".into()), Expr::Static("count".into())),
+                        Lvalue::ArrayElem(
+                            Expr::Static("elems".into()),
+                            Expr::Static("count".into()),
+                        ),
                         Expr::local("v"),
                     ),
                     Stmt::GhostAssign {
@@ -462,7 +494,10 @@ pub fn array_list() -> Program {
                     },
                     Stmt::Assign(
                         Lvalue::Static("count".into()),
-                        Expr::Plus(Box::new(Expr::Static("count".into())), Box::new(Expr::IntLit(1))),
+                        Expr::Plus(
+                            Box::new(Expr::Static("count".into())),
+                            Box::new(Expr::IntLit(1)),
+                        ),
                     ),
                 ])
                 .build(),
@@ -487,10 +522,16 @@ pub fn array_list() -> Program {
                 .body(vec![
                     Stmt::While {
                         invariant: ghost("n <= count & count <= Array.length elems"),
-                        cond: Expr::Lt(Box::new(Expr::local("n")), Box::new(Expr::Static("count".into()))),
+                        cond: Expr::Lt(
+                            Box::new(Expr::local("n")),
+                            Box::new(Expr::Static("count".into())),
+                        ),
                         body: vec![Stmt::Assign(
                             Lvalue::Static("count".into()),
-                            Expr::Minus(Box::new(Expr::Static("count".into())), Box::new(Expr::IntLit(1))),
+                            Expr::Minus(
+                                Box::new(Expr::Static("count".into())),
+                                Box::new(Expr::IntLit(1)),
+                            ),
                         )],
                     },
                     Stmt::GhostAssign {
@@ -554,8 +595,14 @@ pub fn hash_table() -> Program {
                         target: Lvalue::Local("n".into()),
                         class: "HashNode".into(),
                     },
-                    Stmt::Assign(Lvalue::Field(Expr::local("n"), "key".into()), Expr::local("k0")),
-                    Stmt::Assign(Lvalue::Field(Expr::local("n"), "value".into()), Expr::local("v0")),
+                    Stmt::Assign(
+                        Lvalue::Field(Expr::local("n"), "key".into()),
+                        Expr::local("k0"),
+                    ),
+                    Stmt::Assign(
+                        Lvalue::Field(Expr::local("n"), "value".into()),
+                        Expr::local("v0"),
+                    ),
                     Stmt::Assign(
                         Lvalue::Field(Expr::local("n"), "next".into()),
                         Expr::ArrayElem(
@@ -569,7 +616,10 @@ pub fn hash_table() -> Program {
                     ),
                     Stmt::Assign(
                         Lvalue::Static("used".into()),
-                        Expr::Plus(Box::new(Expr::Static("used".into())), Box::new(Expr::IntLit(1))),
+                        Expr::Plus(
+                            Box::new(Expr::Static("used".into())),
+                            Box::new(Expr::IntLit(1)),
+                        ),
                     ),
                     Stmt::GhostAssign {
                         target: "content".into(),
@@ -642,7 +692,10 @@ pub fn binary_search_tree() -> Program {
                         target: Lvalue::Local("n".into()),
                         class: "BstNode".into(),
                     },
-                    Stmt::Assign(Lvalue::Field(Expr::local("n"), "data".into()), Expr::local("x")),
+                    Stmt::Assign(
+                        Lvalue::Field(Expr::local("n"), "data".into()),
+                        Expr::local("x"),
+                    ),
                     Stmt::Assign(Lvalue::Static("root".into()), Expr::local("n")),
                     Stmt::GhostAssign {
                         target: "nodes".into(),
@@ -663,7 +716,9 @@ pub fn binary_search_tree() -> Program {
                 .returns(JavaType::Bool)
                 .requires("root = null --> content = {}")
                 .ensures("result = True --> content = {}")
-                .body(vec![Stmt::Return(Some(Expr::is_null(Expr::Static("root".into()))))])
+                .body(vec![Stmt::Return(Some(Expr::is_null(Expr::Static(
+                    "root".into(),
+                ))))])
                 .build(),
         )
         .method(
@@ -686,7 +741,10 @@ pub fn binary_search_tree() -> Program {
                         target: Lvalue::Local("n".into()),
                         class: "BstNode".into(),
                     },
-                    Stmt::Assign(Lvalue::Field(Expr::local("n"), "data".into()), Expr::local("x")),
+                    Stmt::Assign(
+                        Lvalue::Field(Expr::local("n"), "data".into()),
+                        Expr::local("x"),
+                    ),
                     Stmt::Assign(
                         Lvalue::Field(Expr::local("parent"), "left".into()),
                         Expr::local("n"),
@@ -746,12 +804,18 @@ pub fn priority_queue() -> Program {
                 .ensures("content = old content Un {x} & length = old length + 1")
                 .body(vec![
                     Stmt::Assign(
-                        Lvalue::ArrayElem(Expr::Static("heap".into()), Expr::Static("length".into())),
+                        Lvalue::ArrayElem(
+                            Expr::Static("heap".into()),
+                            Expr::Static("length".into()),
+                        ),
                         Expr::local("x"),
                     ),
                     Stmt::Assign(
                         Lvalue::Static("length".into()),
-                        Expr::Plus(Box::new(Expr::Static("length".into())), Box::new(Expr::IntLit(1))),
+                        Expr::Plus(
+                            Box::new(Expr::Static("length".into())),
+                            Box::new(Expr::IntLit(1)),
+                        ),
                     ),
                     Stmt::GhostAssign {
                         target: "content".into(),
@@ -769,7 +833,10 @@ pub fn priority_queue() -> Program {
                 .requires("1 <= i")
                 .ensures("result = (i - 1) div 2 & 0 <= result")
                 .body(vec![Stmt::Return(Some(Expr::Div(
-                    Box::new(Expr::Minus(Box::new(Expr::local("i")), Box::new(Expr::IntLit(1)))),
+                    Box::new(Expr::Minus(
+                        Box::new(Expr::local("i")),
+                        Box::new(Expr::IntLit(1)),
+                    )),
                     Box::new(Expr::IntLit(2)),
                 )))])
                 .build(),
@@ -782,7 +849,10 @@ pub fn priority_queue() -> Program {
                 .requires("0 <= i")
                 .ensures("result = 2 * i + 1 & i < result")
                 .body(vec![Stmt::Return(Some(Expr::Plus(
-                    Box::new(Expr::Times(Box::new(Expr::IntLit(2)), Box::new(Expr::local("i")))),
+                    Box::new(Expr::Times(
+                        Box::new(Expr::IntLit(2)),
+                        Box::new(Expr::local("i")),
+                    )),
                     Box::new(Expr::IntLit(1)),
                 )))])
                 .build(),
@@ -808,8 +878,7 @@ pub fn priority_queue() -> Program {
 /// A spanning tree of a graph (§7): adding an edge from a tree node to a fresh node keeps
 /// the vertex set growing and the fresh node reachable.
 pub fn spanning_tree() -> Program {
-    let vertex = ClassDef::new("Vertex")
-        .field("parent", JavaType::Ref("Vertex".into()));
+    let vertex = ClassDef::new("Vertex").field("parent", JavaType::Ref("Vertex".into()));
     let tree = ClassDef::new("SpanningTree")
         .static_field("treeRoot", JavaType::Ref("Vertex".into()))
         .ghost_var("vertices", "obj set", true)
@@ -823,7 +892,10 @@ pub fn spanning_tree() -> Program {
                 .modifies(&["vertices"])
                 .ensures("vertices = old vertices Un {v} & p : vertices")
                 .body(vec![
-                    Stmt::Assign(Lvalue::Field(Expr::local("v"), "parent".into()), Expr::local("p")),
+                    Stmt::Assign(
+                        Lvalue::Field(Expr::local("v"), "parent".into()),
+                        Expr::local("p"),
+                    ),
                     Stmt::GhostAssign {
                         target: "vertices".into(),
                         receiver: None,
@@ -873,7 +945,10 @@ pub fn space_subdivision_tree() -> Program {
                 .modifies(&["points"])
                 .ensures("points = old points Un {p}")
                 .body(vec![
-                    Stmt::Assign(Lvalue::Field(Expr::local("leaf"), "point".into()), Expr::local("p")),
+                    Stmt::Assign(
+                        Lvalue::Field(Expr::local("leaf"), "point".into()),
+                        Expr::local("p"),
+                    ),
                     Stmt::GhostAssign {
                         target: "points".into(),
                         receiver: None,
@@ -888,8 +963,10 @@ pub fn space_subdivision_tree() -> Program {
                 .param("octant", JavaType::Int)
                 .param("node", JavaType::Ref("Cell".into()))
                 .returns(obj())
-                .requires("node ~= null & node..children ~= null & \
-                           0 <= octant & octant < 8 & 8 <= Array.length (node..children)")
+                .requires(
+                    "node ~= null & node..children ~= null & \
+                           0 <= octant & octant < 8 & 8 <= Array.length (node..children)",
+                )
                 .ensures("True")
                 .body(vec![Stmt::Return(Some(Expr::ArrayElem(
                     Box::new(Expr::field(Expr::local("node"), "children")),

@@ -249,7 +249,11 @@ impl Clause {
     /// literals).
     pub fn is_tautology(&self) -> bool {
         for l in &self.literals {
-            if l.positive && l.atom.pred == EQ && l.atom.args.len() == 2 && l.atom.args[0] == l.atom.args[1] {
+            if l.positive
+                && l.atom.pred == EQ
+                && l.atom.args.len() == 2
+                && l.atom.args[0] == l.atom.args[1]
+            {
                 return true;
             }
             if l.positive
@@ -332,7 +336,9 @@ pub fn unify_terms(a: &Term, b: &Term, subst: &mut Subst) -> bool {
             if f != g || fa.len() != ga.len() {
                 return false;
             }
-            fa.iter().zip(ga.iter()).all(|(x, y)| unify_terms(x, y, subst))
+            fa.iter()
+                .zip(ga.iter())
+                .all(|(x, y)| unify_terms(x, y, subst))
         }
     }
 }
@@ -403,7 +409,11 @@ mod tests {
     #[test]
     fn unification_binds_variables() {
         let mut s = Subst::new();
-        assert!(unify_terms(&f("next", vec![v(0)]), &f("next", vec![c("a")]), &mut s));
+        assert!(unify_terms(
+            &f("next", vec![v(0)]),
+            &f("next", vec![c("a")]),
+            &mut s
+        ));
         assert_eq!(s.get(&0), Some(&c("a")));
     }
 
@@ -438,9 +448,17 @@ mod tests {
     #[test]
     fn matching_is_one_way() {
         let mut s = Subst::new();
-        assert!(match_terms(&f("p", vec![v(0)]), &f("p", vec![c("a")]), &mut s));
+        assert!(match_terms(
+            &f("p", vec![v(0)]),
+            &f("p", vec![c("a")]),
+            &mut s
+        ));
         let mut s2 = Subst::new();
-        assert!(!match_terms(&f("p", vec![c("a")]), &f("p", vec![v(0)]), &mut s2));
+        assert!(!match_terms(
+            &f("p", vec![c("a")]),
+            &f("p", vec![v(0)]),
+            &mut s2
+        ));
     }
 
     #[test]

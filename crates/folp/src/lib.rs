@@ -105,7 +105,10 @@ mod tests {
 
     fn seq(assumptions: &[&str], goal: &str) -> Sequent {
         Sequent::new(
-            assumptions.iter().map(|a| parse_form(a).expect("parse")).collect(),
+            assumptions
+                .iter()
+                .map(|a| parse_form(a).expect("parse"))
+                .collect(),
             parse_form(goal).expect("parse"),
         )
     }
@@ -129,7 +132,11 @@ mod tests {
     #[test]
     fn proves_quantifier_instantiation() {
         assert!(proves(
-            &["ALL x. x : Node & x ~= null --> x..next : Node", "n : Node", "n ~= null"],
+            &[
+                "ALL x. x : Node & x ~= null --> x..next : Node",
+                "n : Node",
+                "n ~= null"
+            ],
             "n..next : Node"
         ));
     }
@@ -137,7 +144,10 @@ mod tests {
     #[test]
     fn proves_membership_propagation_through_quantified_assumptions() {
         assert!(proves(
-            &["ALL k v. (k, v) : content0 --> (k, v) : content1", "(k0, v0) : content0"],
+            &[
+                "ALL k v. (k, v) : content0 --> (k, v) : content1",
+                "(k0, v0) : content0"
+            ],
             "(k0, v0) : content1"
         ));
     }
@@ -145,10 +155,7 @@ mod tests {
     #[test]
     fn proves_reachability_steps() {
         // From reflexivity and step inclusion of the generated reach predicate.
-        assert!(proves(
-            &[],
-            "rtrancl_pt (% u v. u..next = v) root root"
-        ));
+        assert!(proves(&[], "rtrancl_pt (% u v. u..next = v) root root"));
         assert!(proves(
             &["root..next = mid"],
             "rtrancl_pt (% u v. u..next = v) root mid"

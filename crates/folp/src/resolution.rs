@@ -66,7 +66,10 @@ pub struct ResolutionStats {
 }
 
 /// Runs the saturation loop on the given clause set.
-pub fn saturate(clauses: &[Clause], limits: ResolutionLimits) -> (ResolutionOutcome, ResolutionStats) {
+pub fn saturate(
+    clauses: &[Clause],
+    limits: ResolutionLimits,
+) -> (ResolutionOutcome, ResolutionStats) {
     let start = Instant::now();
     let deadline = if limits.max_millis == 0 {
         None

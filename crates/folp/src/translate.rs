@@ -21,8 +21,8 @@ use crate::fol::{Atom, Clause, Literal, Term};
 use jahob_logic::approx::{approximate_implication, Polarity};
 use jahob_logic::form::{Binder, Const, Form};
 use jahob_logic::rewrite::{
-    expand_complex_equalities, expand_field_write_applications, expand_set_membership,
-    lift_ite, looks_like_set, rewrite_fixpoint,
+    expand_complex_equalities, expand_field_write_applications, expand_set_membership, lift_ite,
+    looks_like_set, rewrite_fixpoint,
 };
 use jahob_logic::simplify::{nnf, simplify};
 use jahob_logic::subst::{free_vars, substitute_one};
@@ -209,19 +209,18 @@ fn expand_function_equalities(form: &Form, fun_vars: &BTreeSet<String>) -> Form 
 /// Sound axioms for the reachability predicate `reach$idx` generated from a transitive
 /// closure over `body` (a binary lambda): reflexivity, transitivity and step inclusion.
 fn rtrancl_axioms(idx: usize, body: &Form) -> Vec<Form> {
-    let r = |a: Form, b: Form| {
-        Form::app(Form::var(format!("reach${idx}")), vec![a, b])
-    };
-    let step = |a: Form, b: Form| -> Form {
-        Form::app(body.clone(), vec![a, b])
-    };
+    let r = |a: Form, b: Form| Form::app(Form::var(format!("reach${idx}")), vec![a, b]);
+    let step = |a: Form, b: Form| -> Form { Form::app(body.clone(), vec![a, b]) };
     vec![
         // reflexivity
         Form::forall("rx", Type::Obj, r(Form::var("rx"), Form::var("rx"))),
         // step inclusion
         Form::forall_many(
             vec![("rx".to_string(), Type::Obj), ("ry".to_string(), Type::Obj)],
-            Form::implies(step(Form::var("rx"), Form::var("ry")), r(Form::var("rx"), Form::var("ry"))),
+            Form::implies(
+                step(Form::var("rx"), Form::var("ry")),
+                r(Form::var("rx"), Form::var("ry")),
+            ),
         ),
         // transitivity
         Form::forall_many(
@@ -491,7 +490,12 @@ impl ClausifyCx {
         Atom::new(name, Vec::new())
     }
 
-    fn convert_membership(&mut self, elem: &Form, set: &Form, bound: &BTreeMap<String, Term>) -> Atom {
+    fn convert_membership(
+        &mut self,
+        elem: &Form,
+        set: &Form,
+        bound: &BTreeMap<String, Term>,
+    ) -> Atom {
         let mut components = match elem.as_app_of(&Const::Tuple) {
             Some(parts) => parts.iter().map(|p| self.convert_term(p, bound)).collect(),
             None => vec![self.convert_term(elem, bound)],
@@ -647,7 +651,9 @@ fn equality_axioms(
             continue;
         }
         let xs: Vec<Term> = (0..*arity as u32).map(Term::Var).collect();
-        let ys: Vec<Term> = (0..*arity as u32).map(|i| Term::Var(i + *arity as u32)).collect();
+        let ys: Vec<Term> = (0..*arity as u32)
+            .map(|i| Term::Var(i + *arity as u32))
+            .collect();
         let mut lits: Vec<Literal> = xs
             .iter()
             .zip(ys.iter())
@@ -665,7 +671,9 @@ fn equality_axioms(
             continue;
         }
         let xs: Vec<Term> = (0..*arity as u32).map(Term::Var).collect();
-        let ys: Vec<Term> = (0..*arity as u32).map(|i| Term::Var(i + *arity as u32)).collect();
+        let ys: Vec<Term> = (0..*arity as u32)
+            .map(|i| Term::Var(i + *arity as u32))
+            .collect();
         let mut lits: Vec<Literal> = xs
             .iter()
             .zip(ys.iter())
@@ -698,7 +706,10 @@ mod tests {
 
     fn seq(assumptions: &[&str], goal: &str) -> Sequent {
         Sequent::new(
-            assumptions.iter().map(|a| parse_form(a).expect("parse")).collect(),
+            assumptions
+                .iter()
+                .map(|a| parse_form(a).expect("parse"))
+                .collect(),
             parse_form(goal).expect("parse"),
         )
     }
@@ -708,7 +719,9 @@ mod tests {
         let s = seq(&["x = y", "y = z"], "x = z");
         let clauses = sequent_to_clauses(&s, &TranslateOptions::new()).expect("translate");
         // Three unit clauses (two assumptions and the negated goal) plus equality axioms.
-        assert!(clauses.iter().any(|c| c.literals.len() == 1 && !c.literals[0].positive));
+        assert!(clauses
+            .iter()
+            .any(|c| c.literals.len() == 1 && !c.literals[0].positive));
         assert!(clauses.len() >= 4);
     }
 
@@ -716,7 +729,11 @@ mod tests {
     fn membership_becomes_predicates() {
         let s = seq(&["x : content"], "x : content Un {y}");
         let clauses = sequent_to_clauses(&s, &TranslateOptions::new()).expect("translate");
-        let text = clauses.iter().map(|c| c.to_string()).collect::<Vec<_>>().join("\n");
+        let text = clauses
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
         assert!(text.contains("in$content"));
     }
 
@@ -736,7 +753,11 @@ mod tests {
         // an existential assumption becomes a Skolem constant.
         let s = seq(&["EX v. (k, v) : content"], "EX v. (k, v) : content");
         let clauses = sequent_to_clauses(&s, &TranslateOptions::new()).expect("translate");
-        let text = clauses.iter().map(|c| c.to_string()).collect::<Vec<_>>().join("\n");
+        let text = clauses
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
         assert!(text.contains("sk$"));
     }
 
@@ -747,7 +768,11 @@ mod tests {
             "rtrancl_pt (% u v. u..next = v) root x",
         );
         let clauses = sequent_to_clauses(&s, &TranslateOptions::new()).expect("translate");
-        let text = clauses.iter().map(|c| c.to_string()).collect::<Vec<_>>().join("\n");
+        let text = clauses
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
         assert!(text.contains("reach$0"));
         // The reach reflexivity axiom must be present as a unit clause (the predicate is
         // emitted through the predicate-variable path, hence the `p$` prefix).
@@ -760,7 +785,11 @@ mod tests {
     fn cardinality_atoms_are_approximated_away() {
         let s = seq(&["card content = size"], "x = x");
         let clauses = sequent_to_clauses(&s, &TranslateOptions::new()).expect("translate");
-        let text = clauses.iter().map(|c| c.to_string()).collect::<Vec<_>>().join("\n");
+        let text = clauses
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
         assert!(!text.contains("card"));
     }
 
@@ -768,9 +797,16 @@ mod tests {
     fn function_equalities_expand_pointwise() {
         let mut opts = TranslateOptions::new();
         opts.fun_vars.insert("next".to_string());
-        let s = seq(&["next = (old_next)(x := y)"], "next z = old_next z | z = x");
+        let s = seq(
+            &["next = (old_next)(x := y)"],
+            "next z = old_next z | z = x",
+        );
         let clauses = sequent_to_clauses(&s, &opts).expect("translate");
-        let text = clauses.iter().map(|c| c.to_string()).collect::<Vec<_>>().join("\n");
+        let text = clauses
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
         assert!(text.contains("next(X"));
     }
 

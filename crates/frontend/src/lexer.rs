@@ -337,7 +337,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Token> {
-        lex(src).expect("lex").into_iter().map(|s| s.token).collect()
+        lex(src)
+            .expect("lex")
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]
@@ -364,7 +368,9 @@ mod tests {
         assert!(ts.contains(&Token::Str("{}".into())));
         assert!(ts.contains(&Token::SpecClose));
         assert!(ts.contains(&Token::Ident("x".into())));
-        assert!(!ts.iter().any(|t| matches!(t, Token::Ident(s) if s == "ignored" || s == "also")));
+        assert!(!ts
+            .iter()
+            .any(|t| matches!(t, Token::Ident(s) if s == "ignored" || s == "also")));
     }
 
     #[test]
@@ -389,7 +395,10 @@ mod tests {
     #[test]
     fn line_numbers_are_tracked() {
         let spanned = lex("class A {\n int x;\n}").expect("lex");
-        let x = spanned.iter().find(|s| s.token == Token::Ident("x".into())).unwrap();
+        let x = spanned
+            .iter()
+            .find(|s| s.token == Token::Ident("x".into()))
+            .unwrap();
         assert_eq!(x.line, 2);
     }
 

@@ -165,7 +165,9 @@ impl Parser {
         } else {
             Err(self.error(format!(
                 "expected `{sym}`, found {}",
-                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                self.peek()
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             )))
         }
     }
@@ -189,7 +191,9 @@ impl Parser {
         } else {
             Err(self.error(format!(
                 "expected `{kw}`, found {}",
-                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                self.peek()
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             )))
         }
     }
@@ -199,7 +203,9 @@ impl Parser {
             Some(Token::Ident(s)) => Ok(s),
             other => Err(self.error(format!(
                 "expected an identifier, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -209,7 +215,9 @@ impl Parser {
             Some(Token::Str(s)) => Ok(s),
             other => Err(self.error(format!(
                 "expected a quoted specification string, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -245,7 +253,9 @@ impl Parser {
     fn class(&mut self) -> Result<ClassDef, SourceError> {
         // Modifiers (and an optional `/*: claimedby C */` annotation) before `class`.
         loop {
-            if self.eat_keyword("public") || self.eat_keyword("private") || self.eat_keyword("final")
+            if self.eat_keyword("public")
+                || self.eat_keyword("private")
+                || self.eat_keyword("final")
             {
                 continue;
             }
@@ -343,14 +353,17 @@ impl Parser {
             let Some((name, definition)) = text.split_once("==") else {
                 return Err(SourceError {
                     line,
-                    message: format!("vardefs entry {text:?} must have the form \"name == definition\""),
+                    message: format!(
+                        "vardefs entry {text:?} must have the form \"name == definition\""
+                    ),
                 });
             };
             let name = name.trim();
-            let definition = jahob_logic::parse_form(definition.trim()).map_err(|e| SourceError {
-                line,
-                message: format!("vardefs definition error: {e}"),
-            })?;
+            let definition =
+                jahob_logic::parse_form(definition.trim()).map_err(|e| SourceError {
+                    line,
+                    message: format!("vardefs definition error: {e}"),
+                })?;
             let Some(var) = class.spec_vars.iter_mut().find(|v| v.name == name) else {
                 return Err(SourceError {
                     line,
@@ -374,7 +387,9 @@ impl Parser {
         }
         Err(self.error(format!(
             "expected a specification item (specvar, vardefs, invariant), found {}",
-            self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            self.peek()
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "end of input".into())
         )))
     }
 
@@ -490,7 +505,9 @@ impl Parser {
             } else {
                 return Err(self.error(format!(
                     "expected requires/modifies/ensures, found {}",
-                    self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                    self.peek()
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "end of input".into())
                 )));
             }
         }
@@ -860,11 +877,12 @@ impl Parser {
             }
             other => Err(self.error(format!(
                 "expected an expression, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
-
 }
 
 #[cfg(test)]
@@ -958,7 +976,11 @@ mod tests {
         "#;
         let program = parse_program(src).expect("parse");
         let class = &program.classes[0];
-        let nonempty = class.spec_vars.iter().find(|v| v.name == "nonempty").unwrap();
+        let nonempty = class
+            .spec_vars
+            .iter()
+            .find(|v| v.name == "nonempty")
+            .unwrap();
         assert!(matches!(nonempty.kind, SpecVarKind::Defined(_)));
     }
 
@@ -1020,8 +1042,7 @@ mod tests {
         assert_eq!(err.line, 2);
         assert!(err.message.contains("formula"));
 
-        let vardefs_without_decl =
-            "class A {\n /*: vardefs \"ghostless == {}\"; */\n}";
+        let vardefs_without_decl = "class A {\n /*: vardefs \"ghostless == {}\"; */\n}";
         assert!(parse_program(vardefs_without_decl).is_err());
     }
 

@@ -666,12 +666,12 @@ impl<'a> Translator<'a> {
             Expr::Times(l, r) => self.binary(l, r, |a, b| {
                 Form::app(Form::Const(Const::Times), vec![a, b])
             }),
-            Expr::Div(l, r) => self.binary(l, r, |a, b| {
-                Form::app(Form::Const(Const::Div), vec![a, b])
-            }),
-            Expr::Mod(l, r) => self.binary(l, r, |a, b| {
-                Form::app(Form::Const(Const::Mod), vec![a, b])
-            }),
+            Expr::Div(l, r) => {
+                self.binary(l, r, |a, b| Form::app(Form::Const(Const::Div), vec![a, b]))
+            }
+            Expr::Mod(l, r) => {
+                self.binary(l, r, |a, b| Form::app(Form::Const(Const::Mod), vec![a, b]))
+            }
             Expr::Not(a) => {
                 let (pre, f) = self.expr(a);
                 (pre, Form::not(f))
@@ -778,7 +778,11 @@ mod tests {
         let task = method_task(&program, class, &class.methods[0]);
         let obligations = task.obligations();
         // Two field-update null checks, the postcondition, and the two class invariants.
-        assert!(obligations.len() >= 5, "expected several obligations, got {}", obligations.len());
+        assert!(
+            obligations.len() >= 5,
+            "expected several obligations, got {}",
+            obligations.len()
+        );
         let labels: Vec<String> = obligations
             .iter()
             .flat_map(|o| o.sequent.labels.clone())
@@ -821,24 +825,30 @@ mod tests {
 
     #[test]
     fn loops_produce_invariant_obligations() {
-        let class = ClassDef::new("Counter").static_field("n", JavaType::Int).method(
-            MethodBuilder::public("countdown")
-                .static_method()
-                .requires("0 <= n")
-                .modifies(&[])
-                .ensures("n = 0")
-                .body(vec![
-                    Stmt::While {
+        let class = ClassDef::new("Counter")
+            .static_field("n", JavaType::Int)
+            .method(
+                MethodBuilder::public("countdown")
+                    .static_method()
+                    .requires("0 <= n")
+                    .modifies(&[])
+                    .ensures("n = 0")
+                    .body(vec![Stmt::While {
                         invariant: jahob_logic::parse_form("0 <= n").expect("inv"),
-                        cond: Expr::Lt(Box::new(Expr::IntLit(0)), Box::new(Expr::Static("n".into()))),
+                        cond: Expr::Lt(
+                            Box::new(Expr::IntLit(0)),
+                            Box::new(Expr::Static("n".into())),
+                        ),
                         body: vec![Stmt::Assign(
                             Lvalue::Static("n".into()),
-                            Expr::Minus(Box::new(Expr::Static("n".into())), Box::new(Expr::IntLit(1))),
+                            Expr::Minus(
+                                Box::new(Expr::Static("n".into())),
+                                Box::new(Expr::IntLit(1)),
+                            ),
                         )],
-                    },
-                ])
-                .build(),
-        );
+                    }])
+                    .build(),
+            );
         let program = Program::new(vec![class]);
         let c = program.class("Counter").expect("class");
         let task = method_task(&program, c, &c.methods[0]);

@@ -99,14 +99,12 @@ pub fn approximate(
             }
             translate_atom(form, polarity).unwrap_or_else(|| polarity.strongest())
         }
-        Form::Binder(Binder::Forall, vars, body) => Form::forall_many(
-            vars.clone(),
-            approximate(body, polarity, translate_atom),
-        ),
-        Form::Binder(Binder::Exists, vars, body) => Form::exists_many(
-            vars.clone(),
-            approximate(body, polarity, translate_atom),
-        ),
+        Form::Binder(Binder::Forall, vars, body) => {
+            Form::forall_many(vars.clone(), approximate(body, polarity, translate_atom))
+        }
+        Form::Binder(Binder::Exists, vars, body) => {
+            Form::exists_many(vars.clone(), approximate(body, polarity, translate_atom))
+        }
         _ => translate_atom(form, polarity).unwrap_or_else(|| polarity.strongest()),
     }
 }

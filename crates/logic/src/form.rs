@@ -232,6 +232,11 @@ impl Form {
     }
 
     /// Negation, with constant folding and double-negation elimination.
+    ///
+    /// This is an associated constructor taking the formula by value, not an `ops::Not`
+    /// implementation: it is called as `Form::not(f)` throughout the workspace, alongside
+    /// its siblings `Form::and` / `Form::or`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Form) -> Form {
         match f {
             Form::Const(Const::BoolLit(b)) => Form::Const(Const::BoolLit(!b)),
@@ -913,11 +918,7 @@ mod tests {
 
     #[test]
     fn forall_collapses_nested_binders() {
-        let f = Form::forall(
-            "x",
-            Type::Obj,
-            Form::forall("y", Type::Obj, Form::var("p")),
-        );
+        let f = Form::forall("x", Type::Obj, Form::forall("y", Type::Obj, Form::var("p")));
         match f {
             Form::Binder(Binder::Forall, vars, _) => assert_eq!(vars.len(), 2),
             other => panic!("expected forall, got {other:?}"),
@@ -940,7 +941,10 @@ mod tests {
             Type::Obj,
             Form::implies(
                 Form::elem(Form::var("x"), Form::var("Node")),
-                Form::eq(Form::field_read(Form::var("next"), Form::var("x")), Form::null()),
+                Form::eq(
+                    Form::field_read(Form::var("next"), Form::var("x")),
+                    Form::null(),
+                ),
             ),
         );
         assert_eq!(f.to_string(), "ALL x. x : Node --> next x = null");

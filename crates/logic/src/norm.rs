@@ -63,11 +63,10 @@ pub fn definition_substitution(assumptions: &[Form]) -> Subst {
             // Definitional links are either equalities `v = t` or (for boolean-valued
             // temporaries, e.g. `result` of a boolean method) bi-implications `v <-> F`.
             let link = c.as_eq().or_else(|| {
-                c.as_app_of(&Const::Iff)
-                    .and_then(|args| match args {
-                        [l, r] => Some((l, r)),
-                        _ => None,
-                    })
+                c.as_app_of(&Const::Iff).and_then(|args| match args {
+                    [l, r] => Some((l, r)),
+                    _ => None,
+                })
             });
             let Some((l, r)) = link else { continue };
             for (lhs, rhs) in [(l, r), (r, l)] {
@@ -190,14 +189,19 @@ pub fn sort_commutative(form: &Form) -> Form {
                         }
                         return Form::app(fun, args);
                     }
-                    Const::Union | Const::Inter | Const::Plus | Const::Times
-                        if args.len() == 2 =>
-                    {
+                    Const::Union | Const::Inter | Const::Plus | Const::Times if args.len() == 2 => {
                         let mut leaves = Vec::new();
                         for a in &args {
                             collect_ac_leaves(c, a, &mut leaves);
                         }
                         leaves.sort();
+                        // Union and intersection are idempotent, and the simplifier
+                        // collapses `t Un t` only when the copies are siblings — dedup
+                        // here so AC-equal chains canonicalise identically regardless of
+                        // the original association.
+                        if matches!(c, Const::Union | Const::Inter) {
+                            leaves.dedup();
+                        }
                         let mut iter = leaves.into_iter();
                         let first = iter.next().expect("binary operator has arguments");
                         return iter.fold(first, |acc, next| {
@@ -246,7 +250,14 @@ mod tests {
 
     #[test]
     fn generated_name_recognition() {
-        for name in ["asg$1", "fresh$12", "old$content", "content_1", "n_23", "arrayState_2"] {
+        for name in [
+            "asg$1",
+            "fresh$12",
+            "old$content",
+            "content_1",
+            "n_23",
+            "arrayState_2",
+        ] {
             assert!(is_generated_name(name), "{name} should be generated");
         }
         for name in ["content", "x", "first", "old", "size2", "_1", "a_b"] {
@@ -256,7 +267,11 @@ mod tests {
 
     #[test]
     fn substitution_collapses_chains() {
-        let assumptions = vec![p("asg$1 = {}"), p("nodes_1 = asg$1"), p("old$first = first")];
+        let assumptions = vec![
+            p("asg$1 = {}"),
+            p("nodes_1 = asg$1"),
+            p("old$first = first"),
+        ];
         let sub = definition_substitution(&assumptions);
         assert_eq!(sub.get("nodes_1"), Some(&p("{}")));
         assert_eq!(sub.get("asg$1"), Some(&p("{}")));
@@ -287,7 +302,10 @@ mod tests {
     #[test]
     fn inline_keeps_labels_and_non_trivial_assumptions() {
         let mut sequent = Sequent::new(
-            vec![p("comment ''inv'' (size = card content)"), p("size_1 = size + 1")],
+            vec![
+                p("comment ''inv'' (size = card content)"),
+                p("size_1 = size + 1"),
+            ],
             p("size_1 = card content + 1"),
         );
         sequent.labels = vec!["post".to_string()];
@@ -310,14 +328,20 @@ mod tests {
             sort_commutative(&p("(a Un b) Un c")),
             sort_commutative(&p("c Un (b Un a)"))
         );
-        assert_eq!(sort_commutative(&p("p & q & p")), sort_commutative(&p("q & p")));
+        assert_eq!(
+            sort_commutative(&p("p & q & p")),
+            sort_commutative(&p("q & p"))
+        );
         assert_eq!(sort_commutative(&p("a = b")), sort_commutative(&p("b = a")));
     }
 
     #[test]
     fn sorting_preserves_non_commutative_operators() {
         assert_ne!(sort_commutative(&p("a - b")), sort_commutative(&p("b - a")));
-        assert_ne!(sort_commutative(&p("a --> b")), sort_commutative(&p("b --> a")));
+        assert_ne!(
+            sort_commutative(&p("a --> b")),
+            sort_commutative(&p("b --> a"))
+        );
     }
 
     #[test]

@@ -612,9 +612,8 @@ impl Parser {
                     let field = match self.bump() {
                         Tok::Ident(name) => name,
                         other => {
-                            return Err(self.error(format!(
-                                "expected field name after '..', found {other:?}"
-                            )))
+                            return Err(self
+                                .error(format!("expected field name after '..', found {other:?}")))
                         }
                     };
                     head = Form::field_read(Form::var(field), head);
@@ -637,9 +636,8 @@ impl Parser {
                 self.bump();
                 Ok(Form::int(n))
             }
-            Tok::StrLit(_) => Err(self.error(
-                "string literals may only appear immediately after `comment`".to_string(),
-            )),
+            Tok::StrLit(_) => Err(self
+                .error("string literals may only appear immediately after `comment`".to_string())),
             Tok::Percent => {
                 self.bump();
                 let vars = self.parse_binder_vars()?;
@@ -715,9 +713,9 @@ impl Parser {
                 match self.bump() {
                     Tok::Ident(name) => Form::app(Form::var("theinv"), vec![Form::var(name)]),
                     other => {
-                        return Err(
-                            self.error(format!("expected invariant name after theinv, found {other:?}"))
-                        )
+                        return Err(self.error(format!(
+                            "expected invariant name after theinv, found {other:?}"
+                        )))
                     }
                 }
             }
@@ -725,9 +723,8 @@ impl Parser {
                 let label = match self.bump() {
                     Tok::StrLit(l) => l,
                     other => {
-                        return Err(self.error(format!(
-                            "expected ''label'' after comment, found {other:?}"
-                        )))
+                        return Err(self
+                            .error(format!("expected ''label'' after comment, found {other:?}")))
                     }
                 };
                 let body = self.parse_postfix()?;
@@ -841,9 +838,9 @@ impl Parser {
                     break;
                 }
                 other => {
-                    return Err(self.error(format!(
-                        "expected binder variable or '.', found {other:?}"
-                    )))
+                    return Err(
+                        self.error(format!("expected binder variable or '.', found {other:?}"))
+                    )
                 }
             }
             if self.eat(&Tok::Dot) {
@@ -934,7 +931,9 @@ mod tests {
     use crate::form::{Binder, Form};
 
     fn roundtrip(s: &str) -> String {
-        parse_form(s).unwrap_or_else(|e| panic!("parse {s:?}: {e}")).to_string()
+        parse_form(s)
+            .unwrap_or_else(|e| panic!("parse {s:?}: {e}"))
+            .to_string()
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! to apply.
 
 use crate::form::{Binder, Const, Form, Ident};
-use crate::subst::{beta_reduce, fresh_name, free_vars, substitute, Subst};
+use crate::subst::{beta_reduce, free_vars, fresh_name, substitute, Subst};
 use crate::types::Type;
 use std::collections::BTreeMap;
 
@@ -31,11 +31,9 @@ pub fn rewrite_bottom_up(form: &Form, rewrite: &dyn Fn(&Form) -> Option<Form>) -
     let rebuilt = match form {
         Form::Var(_) | Form::Const(_) => form.clone(),
         Form::Typed(f, t) => Form::Typed(Box::new(rewrite_bottom_up(f, rewrite)), t.clone()),
-        Form::Binder(b, vars, body) => Form::Binder(
-            *b,
-            vars.clone(),
-            Box::new(rewrite_bottom_up(body, rewrite)),
-        ),
+        Form::Binder(b, vars, body) => {
+            Form::Binder(*b, vars.clone(), Box::new(rewrite_bottom_up(body, rewrite)))
+        }
         Form::App(f, args) => Form::app(
             rewrite_bottom_up(f, rewrite),
             args.iter().map(|a| rewrite_bottom_up(a, rewrite)).collect(),
@@ -78,15 +76,24 @@ pub fn expand_set_membership(form: &Form) -> Form {
         let [x, s] = args else { return None };
         if let Some(parts) = s.as_app_of(&Const::Union) {
             return Some(Form::or(
-                parts.iter().map(|p| Form::elem(x.clone(), p.clone())).collect(),
+                parts
+                    .iter()
+                    .map(|p| Form::elem(x.clone(), p.clone()))
+                    .collect(),
             ));
         }
         if let Some(parts) = s.as_app_of(&Const::Inter) {
             return Some(Form::and(
-                parts.iter().map(|p| Form::elem(x.clone(), p.clone())).collect(),
+                parts
+                    .iter()
+                    .map(|p| Form::elem(x.clone(), p.clone()))
+                    .collect(),
             ));
         }
-        if let Some([a, b]) = s.as_app_of(&Const::Diff).or_else(|| s.as_app_of(&Const::Minus)) {
+        if let Some([a, b]) = s
+            .as_app_of(&Const::Diff)
+            .or_else(|| s.as_app_of(&Const::Minus))
+        {
             return Some(Form::and(vec![
                 Form::elem(x.clone(), a.clone()),
                 Form::not(Form::elem(x.clone(), b.clone())),
@@ -94,7 +101,10 @@ pub fn expand_set_membership(form: &Form) -> Form {
         }
         if let Some(elems) = s.as_app_of(&Const::FiniteSet) {
             return Some(Form::or(
-                elems.iter().map(|e| Form::eq(x.clone(), e.clone())).collect(),
+                elems
+                    .iter()
+                    .map(|e| Form::eq(x.clone(), e.clone()))
+                    .collect(),
             ));
         }
         if matches!(s, Form::Const(Const::EmptySet)) {
@@ -241,13 +251,15 @@ pub fn lift_ite(form: &Form) -> Form {
     rewrite_fixpoint(form, &|f| {
         let (c, head_const) = match f {
             Form::App(fun, _) => match fun.as_ref() {
-                Form::Const(c2 @ (Const::Eq
-                | Const::Lt
-                | Const::LtEq
-                | Const::Gt
-                | Const::GtEq
-                | Const::Elem
-                | Const::SubsetEq)) => (f, c2.clone()),
+                Form::Const(
+                    c2 @ (Const::Eq
+                    | Const::Lt
+                    | Const::LtEq
+                    | Const::Gt
+                    | Const::GtEq
+                    | Const::Elem
+                    | Const::SubsetEq),
+                ) => (f, c2.clone()),
                 _ => return None,
             },
             _ => return None,

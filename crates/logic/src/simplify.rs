@@ -118,7 +118,12 @@ fn simp_app(fun: Form, args: Vec<Form>) -> Form {
             (Const::Elem, [x, s]) => {
                 if let Some(elems) = s.as_app_of(&Const::FiniteSet) {
                     // x : {a} simplifies to x = a (and similarly for larger displays).
-                    return Form::or(elems.iter().map(|e| Form::eq(x.clone(), e.clone())).collect());
+                    return Form::or(
+                        elems
+                            .iter()
+                            .map(|e| Form::eq(x.clone(), e.clone()))
+                            .collect(),
+                    );
                 }
             }
             (Const::Union, [Form::Const(Const::EmptySet), x]) => return x.clone(),
@@ -198,12 +203,8 @@ fn nnf_pos(form: &Form) -> Form {
             }
             form.clone()
         }
-        Form::Binder(Binder::Forall, vars, body) => {
-            Form::forall_many(vars.clone(), nnf_pos(body))
-        }
-        Form::Binder(Binder::Exists, vars, body) => {
-            Form::exists_many(vars.clone(), nnf_pos(body))
-        }
+        Form::Binder(Binder::Forall, vars, body) => Form::forall_many(vars.clone(), nnf_pos(body)),
+        Form::Binder(Binder::Exists, vars, body) => Form::exists_many(vars.clone(), nnf_pos(body)),
         _ => form.clone(),
     }
 }
@@ -299,7 +300,10 @@ mod tests {
         assert_eq!(s("result = False"), "~result");
         assert_eq!(s("True = (x : s)"), "x : s");
         // Equality between two formulas becomes a bi-implication.
-        assert_eq!(s("(size = 0) = (card content = 0)"), "size = 0 <-> card content = 0");
+        assert_eq!(
+            s("(size = 0) = (card content = 0)"),
+            "size = 0 <-> card content = 0"
+        );
         // Plain term equalities are untouched.
         assert_eq!(s("x = y"), "x = y");
     }

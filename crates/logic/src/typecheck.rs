@@ -119,7 +119,7 @@ pub fn infer(form: &Form, env: &TypeEnv) -> Result<Inference, TypeError> {
     let mut scope: Vec<(Ident, Type)> = Vec::new();
     let ty = cx.infer(form, env, &mut scope)?;
     let resolved_ty = cx.default_unknowns(&cx.resolve(&ty));
-    let resolved_form = cx.annotate(form, env, &mut Vec::new());
+    let resolved_form = cx.annotate(form, &mut Vec::new());
     let undeclared = cx
         .undeclared
         .clone()
@@ -269,10 +269,7 @@ impl Cx {
                 let b = self.fresh();
                 Type::fun_n(&[Type::fun(a.clone(), b.clone()), a], b)
             }
-            ArrayRead => Type::fun_n(
-                &[Type::obj_array_state(), Type::Obj, Type::Int],
-                Type::Obj,
-            ),
+            ArrayRead => Type::fun_n(&[Type::obj_array_state(), Type::Obj, Type::Int], Type::Obj),
             ArrayWrite => Type::fun_n(
                 &[Type::obj_array_state(), Type::Obj, Type::Int, Type::Obj],
                 Type::obj_array_state(),
@@ -295,12 +292,7 @@ impl Cx {
         }
     }
 
-    fn lookup_var(
-        &mut self,
-        name: &Ident,
-        env: &TypeEnv,
-        scope: &[(Ident, Type)],
-    ) -> Type {
+    fn lookup_var(&mut self, name: &Ident, env: &TypeEnv, scope: &[(Ident, Type)]) -> Type {
         if let Some((_, t)) = scope.iter().rev().find(|(v, _)| v == name) {
             return t.clone();
         }
@@ -404,11 +396,7 @@ impl Cx {
             let res = self.fresh();
             self.unify(&fun_ty, &Type::fun(arg_ty.clone(), res.clone()))
                 .map_err(|e| TypeError {
-                    message: format!(
-                        "applying {fun} to argument {} ({a}): {}",
-                        i + 1,
-                        e.message
-                    ),
+                    message: format!("applying {fun} to argument {} ({a}): {}", i + 1, e.message),
                 })?;
             fun_ty = res;
         }
@@ -416,13 +404,13 @@ impl Cx {
     }
 
     /// Rewrites binder annotations with their resolved types.
-    fn annotate(&self, form: &Form, env: &TypeEnv, scope: &mut Vec<(Ident, Type)>) -> Form {
+    fn annotate(&self, form: &Form, scope: &mut Vec<(Ident, Type)>) -> Form {
         match form {
             Form::Var(_) | Form::Const(_) => form.clone(),
-            Form::Typed(f, t) => Form::Typed(Box::new(self.annotate(f, env, scope)), t.clone()),
+            Form::Typed(f, t) => Form::Typed(Box::new(self.annotate(f, scope)), t.clone()),
             Form::App(f, args) => Form::App(
-                Box::new(self.annotate(f, env, scope)),
-                args.iter().map(|a| self.annotate(a, env, scope)).collect(),
+                Box::new(self.annotate(f, scope)),
+                args.iter().map(|a| self.annotate(a, scope)).collect(),
             ),
             Form::Binder(b, vars, body) => {
                 let new_vars: Vec<(Ident, Type)> = vars
@@ -431,7 +419,7 @@ impl Cx {
                     .collect();
                 let n = vars.len();
                 scope.extend(vars.iter().cloned());
-                let body = self.annotate(body, env, scope);
+                let body = self.annotate(body, scope);
                 scope.truncate(scope.len() - n);
                 Form::Binder(*b, new_vars, Box::new(body))
             }

@@ -2,7 +2,9 @@
 //! the syntactic prover and the dispatcher (§5.3 / §6.1).
 
 use jahob_logic::form::Form;
-use jahob_logic::norm::{canonicalize, definition_substitution, inline_definitions, sort_commutative};
+use jahob_logic::norm::{
+    canonicalize, definition_substitution, inline_definitions, sort_commutative,
+};
 use jahob_logic::Sequent;
 use proptest::prelude::*;
 

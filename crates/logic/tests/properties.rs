@@ -13,10 +13,8 @@ fn arb_form() -> impl Strategy<Value = Form> {
         Just(Form::tt()),
         Just(Form::ff()),
         (0..4u8).prop_map(|i| Form::var(format!("p{i}"))),
-        (0..3u8, 0..3u8).prop_map(|(a, b)| Form::eq(
-            Form::var(format!("x{a}")),
-            Form::var(format!("x{b}"))
-        )),
+        (0..3u8, 0..3u8)
+            .prop_map(|(a, b)| Form::eq(Form::var(format!("x{a}")), Form::var(format!("x{b}")))),
         (0..3u8).prop_map(|a| Form::elem(Form::var(format!("x{a}")), Form::var("s"))),
         (0..3u8).prop_map(|a| Form::cmp(Const::LtEq, Form::var(format!("i{a}")), Form::int(5))),
     ];
@@ -26,9 +24,7 @@ fn arb_form() -> impl Strategy<Value = Form> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::or(vec![a, b])),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::implies(a, b)),
             inner.clone().prop_map(Form::not),
-            inner
-                .clone()
-                .prop_map(|a| Form::forall("q", Type::Obj, a)),
+            inner.clone().prop_map(|a| Form::forall("q", Type::Obj, a)),
         ]
     })
 }
@@ -88,7 +84,7 @@ proptest! {
             use std::hash::{Hash, Hasher};
             atom.to_string().hash(&mut h);
             seed.hash(&mut h);
-            h.finish() % 2 == 0
+            h.finish().is_multiple_of(2)
         };
         prop_assert_eq!(eval(&f, &model), eval(&simplify(&f), &model));
     }
@@ -112,7 +108,7 @@ proptest! {
             use std::hash::{Hash, Hasher};
             atom.to_string().hash(&mut h);
             seed.hash(&mut h);
-            h.finish() % 2 == 0
+            h.finish().is_multiple_of(2)
         };
         prop_assert_eq!(eval(&f, &model), eval(&n, &model));
     }

@@ -192,9 +192,7 @@ impl Translator {
                         .map(|a| self.translate(a))
                         .collect::<Option<Vec<_>>>()?,
                 )),
-                (Form::Const(Const::Not), [a]) => {
-                    Some(Ws1s::Not(Box::new(self.translate(a)?)))
-                }
+                (Form::Const(Const::Not), [a]) => Some(Ws1s::Not(Box::new(self.translate(a)?))),
                 (Form::Const(Const::Impl), [l, r]) => {
                     Some(Ws1s::implies(self.translate(l)?, self.translate(r)?))
                 }
@@ -246,9 +244,7 @@ impl Translator {
                         self.fo_var(name)
                     };
                     result = match (binder, second_order) {
-                        (Binder::Forall, false) => {
-                            Ws1s::ForallPos(wsname, Box::new(result))
-                        }
+                        (Binder::Forall, false) => Ws1s::ForallPos(wsname, Box::new(result)),
                         (Binder::Forall, true) => Ws1s::ForallSet(wsname, Box::new(result)),
                         (Binder::Exists, false) => Ws1s::ExistsPos(wsname, Box::new(result)),
                         (Binder::Exists, true) => Ws1s::ExistsSet(wsname, Box::new(result)),
@@ -296,7 +292,10 @@ mod tests {
 
     fn seq(assumptions: &[&str], goal: &str) -> Sequent {
         Sequent::new(
-            assumptions.iter().map(|a| parse_form(a).expect("parse")).collect(),
+            assumptions
+                .iter()
+                .map(|a| parse_form(a).expect("parse"))
+                .collect(),
             parse_form(goal).expect("parse"),
         )
     }
@@ -326,16 +325,16 @@ mod tests {
     #[test]
     fn proves_quantified_set_goals() {
         // Extensionality expressed with quantifiers.
-        assert!(proves(
-            &["ALL e. e : a <-> e : b"],
-            "a = b"
-        ));
+        assert!(proves(&["ALL e. e : a <-> e : b"], "a = b"));
     }
 
     #[test]
     fn proves_null_handling() {
         assert!(proves(
-            &["ALL x. x : nodes --> x ~= null", "null : nodes | ok : nodes"],
+            &[
+                "ALL x. x : nodes --> x ~= null",
+                "null : nodes | ok : nodes"
+            ],
             "ok : nodes | False"
         ));
     }
@@ -356,7 +355,10 @@ mod tests {
             &["~(n = null)", "~(n : alloc)", "n : List"],
             "False"
         ));
-        assert!(!proves(&["~(n = null)", "~(n : alloc)", "n : List"], "n : alloc"));
+        assert!(!proves(
+            &["~(n = null)", "~(n : alloc)", "n : List"],
+            "n : alloc"
+        ));
         // Valid facts about null still go through.
         assert!(proves(&["~(null : alloc)", "x : alloc"], "~(x = null)"));
     }
@@ -370,11 +372,14 @@ mod tests {
     #[test]
     fn respects_track_limit() {
         let opts = MonaOptions { max_tracks: 2 };
-        let r = prove_sequent(
-            &seq(&["a : s", "b : t", "c : u"], "a : s"),
-            &opts,
-        );
+        let r = prove_sequent(&seq(&["a : s", "b : t", "c : u"], "a : s"), &opts);
         assert!(!r.applicable);
-        assert!(prove_sequent(&seq(&["a : s", "b : t", "c : u"], "a : s"), &MonaOptions::default()).proved);
+        assert!(
+            prove_sequent(
+                &seq(&["a : s", "b : t", "c : u"], "a : s"),
+                &MonaOptions::default()
+            )
+            .proved
+        );
     }
 }

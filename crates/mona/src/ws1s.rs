@@ -10,6 +10,11 @@
 //! First-order variables are encoded as singleton sets (the standard MONA encoding): the
 //! track of a first-order variable carries exactly one `1`, at the variable's position.
 
+// The primitive-automaton constructors fill several transition rows per symbol index, so
+// the symbol loop indexes `trans[state][a]` directly; an iterator rewrite would obscure
+// the transition tables.
+#![allow(clippy::needless_range_loop)]
+
 use jahob_automata::{Dfa, Nfa};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -623,10 +628,7 @@ mod tests {
             "X".into(),
             Box::new(Ws1s::implies(
                 Ws1s::And(vec![base, closed]),
-                Ws1s::ForallPos(
-                    "r".into(),
-                    Box::new(Ws1s::In("r".into(), "X".into())),
-                ),
+                Ws1s::ForallPos("r".into(), Box::new(Ws1s::In("r".into(), "X".into()))),
             )),
         );
         assert!(valid(&f));

@@ -29,9 +29,9 @@ use jahob_logic::norm::{canonicalize, inline_definitions};
 use jahob_logic::simplify::{simplify, strip_comments_deep};
 use jahob_logic::Form;
 use jahob_vcgen::ProofObligation;
-use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// The provers of the integrated reasoning system.
@@ -291,20 +291,19 @@ impl Dispatcher {
                 .chunks(obligations.len().div_ceil(self.config.threads))
                 .collect();
             let merged = Mutex::new(VerificationReport::default());
-            crossbeam::scope(|scope| {
+            std::thread::scope(|scope| {
                 for chunk in chunks {
                     let merged = &merged;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut local = VerificationReport::default();
                         for ob in chunk {
                             local.merge(&self.prove_one(ob, context));
                         }
-                        merged.lock().merge(&local);
+                        merged.lock().expect("report mutex poisoned").merge(&local);
                     });
                 }
-            })
-            .expect("worker thread panicked");
-            merged.into_inner()
+            });
+            merged.into_inner().expect("report mutex poisoned")
         };
         report.total_time = start.elapsed();
         report
@@ -382,9 +381,11 @@ fn attempt(
             jahob_mona::prove_sequent(sequent, &jahob_mona::MonaOptions::default()).proved
         }
         ProverId::Smt => {
-            let mut opts = jahob_smt::SmtOptions::default();
-            opts.set_vars = context.set_vars.clone();
-            opts.fun_vars = context.fun_vars.clone();
+            let opts = jahob_smt::SmtOptions {
+                set_vars: context.set_vars.clone(),
+                fun_vars: context.fun_vars.clone(),
+                ..jahob_smt::SmtOptions::default()
+            };
             jahob_smt::prove_sequent(sequent, &opts).proved
         }
         ProverId::Fol => {
@@ -458,9 +459,7 @@ fn syntactic_check(sequent: &jahob_logic::Sequent, canonical: bool) -> bool {
         }
     }
     goal.conjuncts().iter().all(|c| {
-        available.contains(*c)
-            || c.as_eq().map(|(l, r)| l == r).unwrap_or(false)
-            || c.is_true()
+        available.contains(*c) || c.as_eq().map(|(l, r)| l == r).unwrap_or(false) || c.is_true()
     })
 }
 
@@ -472,7 +471,10 @@ mod tests {
     fn ob(assumptions: &[&str], goal: &str) -> ProofObligation {
         ProofObligation {
             sequent: Sequent::new(
-                assumptions.iter().map(|a| parse_form(a).expect("parse")).collect(),
+                assumptions
+                    .iter()
+                    .map(|a| parse_form(a).expect("parse"))
+                    .collect(),
                 parse_form(goal).expect("parse"),
             ),
             hints: Vec::new(),
@@ -503,7 +505,11 @@ mod tests {
         // Cardinality goes to BAPA.
         let r = dispatcher.prove_one(
             &ob(
-                &["size = card content", "x ~: content", "content1 = content Un {x}"],
+                &[
+                    "size = card content",
+                    "x ~: content",
+                    "content1 = content Un {x}",
+                ],
                 "size + 1 = card content1",
             ),
             &context,

@@ -41,7 +41,10 @@ impl GTerm {
 
     /// Returns `true` if the term contains arithmetic structure.
     pub fn is_arithmetic(&self) -> bool {
-        matches!(self, GTerm::Int(_) | GTerm::Add(..) | GTerm::Sub(..) | GTerm::Mul(..))
+        matches!(
+            self,
+            GTerm::Int(_) | GTerm::Add(..) | GTerm::Sub(..) | GTerm::Mul(..)
+        )
     }
 }
 
@@ -165,12 +168,22 @@ pub fn check_clauses(clauses: &[GClause], limits: GroundLimits) -> GroundOutcome
     // Clauses as (atom index, sign) pairs.
     let mut index_clauses: Vec<Vec<(usize, bool)>> = clauses
         .iter()
-        .map(|c| c.iter().map(|l| (atom_index[&l.atom], l.positive)).collect())
+        .map(|c| {
+            c.iter()
+                .map(|l| (atom_index[&l.atom], l.positive))
+                .collect()
+        })
         .collect();
 
     let mut steps = 0usize;
     let mut assignment: Vec<Option<bool>> = vec![None; atoms.len()];
-    match dpll(&atoms, &mut index_clauses, &mut assignment, &mut steps, limits.max_steps) {
+    match dpll(
+        &atoms,
+        &mut index_clauses,
+        &mut assignment,
+        &mut steps,
+        limits.max_steps,
+    ) {
         Some(true) => GroundOutcome::Sat,
         Some(false) => GroundOutcome::Unsat,
         None => GroundOutcome::Unknown,
@@ -420,7 +433,10 @@ mod tests {
             vec![GLiteral::pos(p.clone())],
             vec![GLiteral::neg(p.clone())],
         ];
-        assert_eq!(check_clauses(&clauses, GroundLimits::default()), GroundOutcome::Unsat);
+        assert_eq!(
+            check_clauses(&clauses, GroundLimits::default()),
+            GroundOutcome::Unsat
+        );
     }
 
     #[test]
@@ -428,7 +444,10 @@ mod tests {
         let p = GAtom::Pred("p".into(), vec![]);
         let q = GAtom::Pred("q".into(), vec![]);
         let clauses = vec![vec![GLiteral::pos(p.clone()), GLiteral::pos(q.clone())]];
-        assert_eq!(check_clauses(&clauses, GroundLimits::default()), GroundOutcome::Sat);
+        assert_eq!(
+            check_clauses(&clauses, GroundLimits::default()),
+            GroundOutcome::Sat
+        );
     }
 
     #[test]
@@ -440,7 +459,10 @@ mod tests {
             vec![GLiteral::pos(GAtom::Eq(c("a"), c("b")))],
             vec![GLiteral::neg(GAtom::Eq(fa, fb))],
         ];
-        assert_eq!(check_clauses(&clauses, GroundLimits::default()), GroundOutcome::Unsat);
+        assert_eq!(
+            check_clauses(&clauses, GroundLimits::default()),
+            GroundOutcome::Unsat
+        );
     }
 
     #[test]
@@ -455,7 +477,10 @@ mod tests {
             vec![GLiteral::neg(GAtom::Eq(c("a"), c("c")))],
             vec![GLiteral::neg(GAtom::Eq(c("a"), c("d")))],
         ];
-        assert_eq!(check_clauses(&clauses, GroundLimits::default()), GroundOutcome::Unsat);
+        assert_eq!(
+            check_clauses(&clauses, GroundLimits::default()),
+            GroundOutcome::Unsat
+        );
     }
 
     #[test]
@@ -466,7 +491,10 @@ mod tests {
             vec![GLiteral::pos(GAtom::Le(x.clone(), GTerm::Int(3)))],
             vec![GLiteral::pos(GAtom::Le(GTerm::Int(5), x.clone()))],
         ];
-        assert_eq!(check_clauses(&clauses, GroundLimits::default()), GroundOutcome::Unsat);
+        assert_eq!(
+            check_clauses(&clauses, GroundLimits::default()),
+            GroundOutcome::Unsat
+        );
     }
 
     #[test]
@@ -482,7 +510,10 @@ mod tests {
             vec![GLiteral::pos(GAtom::Le(GTerm::Int(0), size0.clone()))],
             vec![GLiteral::pos(GAtom::Le(size1.clone(), GTerm::Int(0)))],
         ];
-        assert_eq!(check_clauses(&clauses, GroundLimits::default()), GroundOutcome::Unsat);
+        assert_eq!(
+            check_clauses(&clauses, GroundLimits::default()),
+            GroundOutcome::Unsat
+        );
     }
 
     #[test]
@@ -500,7 +531,10 @@ mod tests {
             vec![GLiteral::pos(GAtom::Eq(fc, c("d")))],
             vec![GLiteral::neg(GAtom::Eq(fa, c("d")))],
         ];
-        assert_eq!(check_clauses(&clauses, GroundLimits::default()), GroundOutcome::Unsat);
+        assert_eq!(
+            check_clauses(&clauses, GroundLimits::default()),
+            GroundOutcome::Unsat
+        );
     }
 
     #[test]

@@ -9,10 +9,10 @@
 
 use crate::ground::{check_clauses, GAtom, GClause, GLiteral, GTerm, GroundLimits, GroundOutcome};
 use jahob_logic::approx::{approximate_implication, Polarity};
-use jahob_logic::form::{Binder, Const, Form};
+use jahob_logic::form::{Binder, Const, Form, Ident};
 use jahob_logic::rewrite::{
-    expand_complex_equalities, expand_field_write_applications, expand_set_membership,
-    lift_ite, looks_like_set, rewrite_fixpoint,
+    expand_complex_equalities, expand_field_write_applications, expand_set_membership, lift_ite,
+    looks_like_set, rewrite_fixpoint,
 };
 use jahob_logic::simplify::{nnf, simplify};
 use jahob_logic::subst::{free_vars, fresh_name, substitute, Subst};
@@ -90,7 +90,7 @@ pub fn prove_sequent(sequent: &Sequent, options: &SmtOptions) -> SmtResult {
     // The refutation target: assumptions and the negated goal.
     let mut formulas: Vec<Form> = assumptions;
     formulas.push(Form::not(goal));
-    let formulas: Vec<Form> = formulas.iter().map(|f| nnf(f)).collect();
+    let formulas: Vec<Form> = formulas.iter().map(nnf).collect();
 
     // Ground the quantifiers.
     let mut grounder = Grounder {
@@ -240,10 +240,7 @@ fn define_divisions(formulas: Vec<Form>) -> Vec<Form> {
                                     let q = Form::var(quotient_of(&args[0], k));
                                     return Some(Form::minus(
                                         args[0].clone(),
-                                        Form::app(
-                                            Form::Const(Const::Times),
-                                            vec![Form::int(k), q],
-                                        ),
+                                        Form::app(Form::Const(Const::Times), vec![Form::int(k), q]),
                                     ));
                                 }
                                 _ => {}
@@ -291,8 +288,19 @@ fn collect_candidate_terms(formulas: &[Form], fun_vars: &BTreeSet<String>) -> BT
 }
 
 fn collect_terms(form: &Form, out: &mut BTreeSet<Form>) {
+    let mut bound = Vec::new();
+    collect_terms_scoped(form, &mut bound, out);
+}
+
+/// Walks `form` collecting candidate terms, tracking the variables bound by enclosing
+/// binders: a term mentioning a bound variable is not ground in the sequent's scope, so
+/// instantiating with it would only add noise to the candidate pool.
+fn collect_terms_scoped(form: &Form, bound: &mut Vec<Ident>, out: &mut BTreeSet<Form>) {
+    let is_ground = |f: &Form, bound: &[Ident]| {
+        bound.is_empty() || free_vars(f).iter().all(|v| !bound.contains(v))
+    };
     match form {
-        Form::Var(_) => {
+        Form::Var(_) if is_ground(form, bound) => {
             out.insert(form.clone());
         }
         Form::Const(Const::Null) => {
@@ -300,17 +308,24 @@ fn collect_terms(form: &Form, out: &mut BTreeSet<Form>) {
         }
         Form::App(head, args) => {
             // Term-level applications of variables are candidates themselves (f x).
-            if matches!(head.as_ref(), Form::Var(_)) && free_vars(form).len() == free_vars(form).len() {
-                if args.len() == 1 && matches!(args[0], Form::Var(_) | Form::Const(Const::Null)) {
-                    out.insert(form.clone());
-                }
+            if matches!(head.as_ref(), Form::Var(_))
+                && is_ground(form, bound)
+                && args.len() == 1
+                && matches!(args[0], Form::Var(_) | Form::Const(Const::Null))
+            {
+                out.insert(form.clone());
             }
             for a in args {
-                collect_terms(a, out);
+                collect_terms_scoped(a, bound, out);
             }
         }
-        Form::Binder(_, _, body) => collect_terms(body, out),
-        Form::Typed(f, _) => collect_terms(f, out),
+        Form::Binder(_, vars, body) => {
+            let n = vars.len();
+            bound.extend(vars.iter().map(|(v, _)| v.clone()));
+            collect_terms_scoped(body, bound, out);
+            bound.truncate(bound.len() - n);
+        }
+        Form::Typed(f, _) => collect_terms_scoped(f, bound, out),
         _ => {}
     }
 }
@@ -415,8 +430,7 @@ fn formula_to_clauses(form: &Form, budget: usize) -> Option<Vec<GClause>> {
                         return Some(acc);
                     }
                     (Const::Impl, _) => {
-                        let expanded =
-                            Form::or(vec![Form::not(args[0].clone()), args[1].clone()]);
+                        let expanded = Form::or(vec![Form::not(args[0].clone()), args[1].clone()]);
                         return go(&expanded, positive, budget);
                     }
                     (Const::Iff, _) => {
@@ -497,7 +511,9 @@ fn convert_membership(elem: &Form, set: &Form) -> GAtom {
     match set {
         Form::Var(s) => GAtom::Pred(format!("in${s}"), components),
         Form::App(head, args) if matches!(head.as_ref(), Form::Var(_)) => {
-            let Form::Var(f) = head.as_ref() else { unreachable!() };
+            let Form::Var(f) = head.as_ref() else {
+                unreachable!()
+            };
             let mut all: Vec<GTerm> = args.iter().map(convert_term).collect();
             all.append(&mut components);
             GAtom::Pred(format!("in${f}"), all)
@@ -524,11 +540,17 @@ fn convert_term(term: &Form) -> GTerm {
                 Form::Var(f) => GTerm::App(f.clone(), conv),
                 Form::Const(Const::Plus) if conv.len() == 2 => {
                     let mut it = conv.into_iter();
-                    GTerm::Add(Box::new(it.next().expect("2 args")), Box::new(it.next().expect("2 args")))
+                    GTerm::Add(
+                        Box::new(it.next().expect("2 args")),
+                        Box::new(it.next().expect("2 args")),
+                    )
                 }
                 Form::Const(Const::Minus) if conv.len() == 2 => {
                     let mut it = conv.into_iter();
-                    GTerm::Sub(Box::new(it.next().expect("2 args")), Box::new(it.next().expect("2 args")))
+                    GTerm::Sub(
+                        Box::new(it.next().expect("2 args")),
+                        Box::new(it.next().expect("2 args")),
+                    )
                 }
                 Form::Const(Const::Times) if conv.len() == 2 => match (&conv[0], &conv[1]) {
                     (GTerm::Int(k), other) | (other, GTerm::Int(k)) => {
@@ -536,9 +558,10 @@ fn convert_term(term: &Form) -> GTerm {
                     }
                     _ => GTerm::App("int$times".into(), conv),
                 },
-                Form::Const(Const::UMinus) if conv.len() == 1 => {
-                    GTerm::Sub(Box::new(GTerm::Int(0)), Box::new(conv.into_iter().next().expect("1 arg")))
-                }
+                Form::Const(Const::UMinus) if conv.len() == 1 => GTerm::Sub(
+                    Box::new(GTerm::Int(0)),
+                    Box::new(conv.into_iter().next().expect("1 arg")),
+                ),
                 Form::Const(Const::ArrayRead) => GTerm::App("array$read".into(), conv),
                 Form::Const(Const::ArrayWrite) => GTerm::App("array$write".into(), conv),
                 Form::Const(Const::FieldWrite) => GTerm::App("field$write".into(), conv),
@@ -562,7 +585,10 @@ mod tests {
 
     fn seq(assumptions: &[&str], goal: &str) -> Sequent {
         Sequent::new(
-            assumptions.iter().map(|a| parse_form(a).expect("parse")).collect(),
+            assumptions
+                .iter()
+                .map(|a| parse_form(a).expect("parse"))
+                .collect(),
             parse_form(goal).expect("parse"),
         )
     }
@@ -581,7 +607,10 @@ mod tests {
     #[test]
     fn proves_arithmetic_sequents() {
         assert!(proves(&["0 <= size"], "0 <= size + 1"));
-        assert!(proves(&["size = old_size + 1", "0 <= old_size"], "1 <= size"));
+        assert!(proves(
+            &["size = old_size + 1", "0 <= old_size"],
+            "1 <= size"
+        ));
         assert!(!proves(&["0 <= size"], "1 <= size"));
     }
 
@@ -591,10 +620,7 @@ mod tests {
             &["ALL x. x : Node --> x..next : Node", "n : Node"],
             "n..next : Node"
         ));
-        assert!(proves(
-            &["ALL x y. x..f = y..f", "a : S"],
-            "b..f = c..f"
-        ));
+        assert!(proves(&["ALL x y. x..f = y..f", "a : S"], "b..f = c..f"));
     }
 
     #[test]
@@ -608,10 +634,7 @@ mod tests {
     fn proves_field_update_reasoning() {
         let mut opts = SmtOptions::default();
         opts.fun_vars.insert("next".to_string());
-        let s = seq(
-            &["next1 = next(x := y)", "z ~= x"],
-            "next1 z = next z",
-        );
+        let s = seq(&["next1 = next(x := y)", "z ~= x"], "next1 z = next z");
         let mut opts2 = opts.clone();
         opts2.fun_vars.insert("next1".to_string());
         assert!(prove_sequent(&s, &opts2).proved);

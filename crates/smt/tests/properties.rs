@@ -2,16 +2,17 @@
 //! brute-force truth-table check on purely propositional problems, and theory answers
 //! must be sound with respect to simple integer models.
 
-use jahob_smt::ground::{check_clauses, GAtom, GClause, GLiteral, GTerm, GroundLimits, GroundOutcome};
+use jahob_smt::ground::{
+    check_clauses, GAtom, GClause, GLiteral, GTerm, GroundLimits, GroundOutcome,
+};
 use proptest::prelude::*;
 
 /// A random propositional clause set over `num_atoms` nullary predicates.
 fn arb_clauses(num_atoms: usize) -> impl Strategy<Value = Vec<GClause>> {
-    let literal = (0..num_atoms, prop::bool::ANY)
-        .prop_map(|(i, positive)| GLiteral {
-            positive,
-            atom: GAtom::Pred(format!("p{i}"), Vec::new()),
-        });
+    let literal = (0..num_atoms, prop::bool::ANY).prop_map(|(i, positive)| GLiteral {
+        positive,
+        atom: GAtom::Pred(format!("p{i}"), Vec::new()),
+    });
     let clause = proptest::collection::vec(literal, 1..4);
     proptest::collection::vec(clause, 1..6)
 }

@@ -168,7 +168,10 @@ impl DesugarEnv {
             .map(|(v, body)| {
                 // Definitions may themselves mention defined variables; unfold so the
                 // constraint is in terms of base variables.
-                Form::eq(Form::var(v.clone()), unfold_definitions(body, &self.definitions))
+                Form::eq(
+                    Form::var(v.clone()),
+                    unfold_definitions(body, &self.definitions),
+                )
             })
             .collect()
     }
@@ -419,7 +422,9 @@ pub fn collect_modified(commands: &[Command], out: &mut BTreeSet<Ident>) {
                 collect_modified(else_branch, out);
             }
             Command::Loop {
-                pre_test, post_test, ..
+                pre_test,
+                post_test,
+                ..
             } => {
                 collect_modified(pre_test, out);
                 collect_modified(post_test, out);
@@ -499,7 +504,9 @@ mod tests {
             panic!("expected choice");
         };
         assert_eq!(branches.len(), 2);
-        assert!(matches!(&branches[1][0], Simple::Assume { form, .. } if *form == p("~(x = null)")));
+        assert!(
+            matches!(&branches[1][0], Simple::Assume { form, .. } if *form == p("~(x = null)"))
+        );
     }
 
     #[test]
@@ -518,15 +525,19 @@ mod tests {
             &env,
         );
         // Initial assert, havoc of i, assume invariant, choice(exit, iterate).
-        assert!(matches!(&out[0], Simple::Assert { label: Some(l), .. } if l == "loop_inv_initial"));
-        assert!(out.iter().any(|s| matches!(s, Simple::Havoc { vars } if vars.contains(&"i".to_string()))));
+        assert!(
+            matches!(&out[0], Simple::Assert { label: Some(l), .. } if l == "loop_inv_initial")
+        );
+        assert!(out
+            .iter()
+            .any(|s| matches!(s, Simple::Havoc { vars } if vars.contains(&"i".to_string()))));
         let Some(Simple::Choice(branches)) = out.last() else {
             panic!("expected trailing choice");
         };
         assert_eq!(branches.len(), 2);
-        assert!(branches[1]
-            .iter()
-            .any(|s| matches!(s, Simple::Assert { label: Some(l), .. } if l == "loop_inv_preserved")));
+        assert!(branches[1].iter().any(
+            |s| matches!(s, Simple::Assert { label: Some(l), .. } if l == "loop_inv_preserved")
+        ));
     }
 
     #[test]
@@ -540,7 +551,9 @@ mod tests {
             }],
             &env,
         );
-        assert!(matches!(&out[0], Simple::Assert { hints, .. } if hints == &vec!["h1".to_string()]));
+        assert!(
+            matches!(&out[0], Simple::Assert { hints, .. } if hints == &vec!["h1".to_string()])
+        );
         assert!(matches!(&out[1], Simple::Assume { label: Some(l), .. } if l == "lemma1"));
     }
 
@@ -554,7 +567,9 @@ mod tests {
             }],
             &env,
         );
-        assert!(matches!(&out[0], Simple::Assert { form, .. } if form.to_string() == "EX x. 0 <= x"));
+        assert!(
+            matches!(&out[0], Simple::Assert { form, .. } if form.to_string() == "EX x. 0 <= x")
+        );
         assert!(matches!(out.last(), Some(Simple::Assume { form, .. }) if *form == p("0 <= x")));
     }
 

@@ -63,18 +63,13 @@ fn wlp_one(command: &Simple, post: Form, env: &DesugarEnv) -> Form {
             Form::and(vec![f, post])
         }
         Simple::Havoc { vars } => {
-            let typed: Vec<(Ident, Type)> = vars
-                .iter()
-                .map(|v| (v.clone(), env.var_type(v)))
-                .collect();
+            let typed: Vec<(Ident, Type)> =
+                vars.iter().map(|v| (v.clone(), env.var_type(v))).collect();
             Form::forall_many(typed, post)
         }
-        Simple::Choice(branches) => Form::and(
-            branches
-                .iter()
-                .map(|b| wlp(b, post.clone(), env))
-                .collect(),
-        ),
+        Simple::Choice(branches) => {
+            Form::and(branches.iter().map(|b| wlp(b, post.clone(), env)).collect())
+        }
     }
 }
 
@@ -265,7 +260,10 @@ mod tests {
         )]);
         let obligations = split(&vc);
         assert_eq!(obligations.len(), 1);
-        assert_eq!(obligations[0].sequent.labels, vec!["postcondition".to_string()]);
+        assert_eq!(
+            obligations[0].sequent.labels,
+            vec!["postcondition".to_string()]
+        );
         assert_eq!(
             obligations[0].hints,
             vec!["sizeInv".to_string(), "xFresh".to_string()]

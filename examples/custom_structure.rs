@@ -30,7 +30,10 @@ fn main() {
                     ),
                     Stmt::Assign(
                         Lvalue::Static("top".into()),
-                        Expr::Plus(Box::new(Expr::Static("top".into())), Box::new(Expr::IntLit(1))),
+                        Expr::Plus(
+                            Box::new(Expr::Static("top".into())),
+                            Box::new(Expr::IntLit(1)),
+                        ),
                     ),
                     Stmt::GhostAssign {
                         target: "content".into(),

@@ -16,7 +16,9 @@ use jahob_repro::jahob::suite;
 use jahob_repro::provers::{Dispatcher, ProverContext};
 
 fn main() {
-    let wanted = std::env::args().nth(1).unwrap_or_else(|| "Sized List".to_string());
+    let wanted = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Sized List".to_string());
     let entry = suite::full_suite()
         .into_iter()
         .find(|e| e.name.eq_ignore_ascii_case(&wanted))
@@ -31,9 +33,11 @@ fn main() {
     let dispatcher = Dispatcher::new();
     for task in jahob_frontend::program_tasks(&entry.program) {
         println!("==== {} ====", task.qualified_name());
-        let mut context = ProverContext::default();
-        context.set_vars = task.set_vars();
-        context.fun_vars = task.fun_vars();
+        let context = ProverContext {
+            set_vars: task.set_vars(),
+            fun_vars: task.fun_vars(),
+            ..ProverContext::default()
+        };
         for (i, ob) in task.obligations().iter().enumerate() {
             let label = if ob.sequent.labels.is_empty() {
                 "<unlabelled>".to_string()

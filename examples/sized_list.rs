@@ -19,6 +19,10 @@ fn main() {
             .filter(|(_, s)| s.proved > 0)
             .map(|(id, s)| format!("{id}: {}", s.proved))
             .collect();
-        println!("provers used for {}: {}\n", result.method, provers_used.join(", "));
+        println!(
+            "provers used for {}: {}\n",
+            result.method,
+            provers_used.join(", ")
+        );
     }
 }

@@ -74,7 +74,11 @@ fn missing_ghost_update_is_caught() {
         .into_iter()
         .find(|r| r.method == "TextStack.push")
         .expect("push present");
-    assert!(!push.verified(), "buggy push must not verify:\n{}", push.render());
+    assert!(
+        !push.verified(),
+        "buggy push must not verify:\n{}",
+        push.render()
+    );
     assert!(push
         .report
         .unproved
@@ -101,5 +105,8 @@ fn wrong_postcondition_is_caught() {
 #[test]
 fn parse_errors_carry_line_numbers() {
     let err = parse_program("class Broken {\n  int x\n}").unwrap_err();
-    assert!(err.line >= 2, "error should point into the class body: {err}");
+    assert!(
+        err.line >= 2,
+        "error should point into the class body: {err}"
+    );
 }

@@ -8,7 +8,10 @@ use jahob_repro::vcgen::ProofObligation;
 fn ob(assumptions: &[&str], goal: &str) -> ProofObligation {
     ProofObligation {
         sequent: Sequent::new(
-            assumptions.iter().map(|a| parse_form(a).expect("parse")).collect(),
+            assumptions
+                .iter()
+                .map(|a| parse_form(a).expect("parse"))
+                .collect(),
             parse_form(goal).expect("parse"),
         ),
         hints: Vec::new(),
@@ -36,10 +39,17 @@ fn integrated_reasoning_spreads_sequents_over_provers() {
         ob(&["x ~= null"], "x ~= null"),
         ob(&["size = old_size + 1", "0 <= old_size"], "1 <= size"),
         ob(
-            &["size = card content", "x ~: content", "content1 = content Un {x}"],
+            &[
+                "size = card content",
+                "x ~: content",
+                "content1 = content Un {x}",
+            ],
             "size + 1 = card content1",
         ),
-        ob(&["ALL x. x : nodes --> x : alloc", "n : nodes"], "n : alloc"),
+        ob(
+            &["ALL x. x : nodes --> x : alloc", "n : nodes"],
+            "n : alloc",
+        ),
     ];
     let report = Dispatcher::new().prove_all(&obs, &ProverContext::default());
     assert!(report.succeeded(), "unproved: {:?}", report.unproved);
@@ -48,7 +58,10 @@ fn integrated_reasoning_spreads_sequents_over_provers() {
         .iter()
         .filter(|(_, s)| s.proved > 0)
         .count();
-    assert!(distinct_provers >= 3, "expected >=3 provers, report: {report:?}");
+    assert!(
+        distinct_provers >= 3,
+        "expected >=3 provers, report: {report:?}"
+    );
 }
 
 #[test]
@@ -85,7 +98,11 @@ fn simple_structures_are_mostly_automated_end_to_end() {
     // integrated reasoner discharges the bulk of every structure's sequents
     // automatically (the residue corresponds to the paper's interactive tail, see
     // EXPERIMENTS.md).
-    for program in [suite::singly_linked_list(), suite::cursor_list(), suite::spanning_tree()] {
+    for program in [
+        suite::singly_linked_list(),
+        suite::cursor_list(),
+        suite::spanning_tree(),
+    ] {
         let results = verify_program(&program, &VerifyOptions::default());
         let total: usize = results.iter().map(|r| r.report.total_sequents).sum();
         let proved: usize = results.iter().map(|r| r.report.proved_sequents).sum();

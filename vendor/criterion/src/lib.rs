@@ -1,0 +1,173 @@
+//! A minimal, dependency-free, offline shim of the [criterion](https://crates.io/crates/criterion)
+//! API surface used by this workspace's benches.
+//!
+//! The build environment has no access to crates.io, so this vendored crate implements
+//! just enough of criterion for `cargo bench`: [`Criterion`] with the builder methods the
+//! benches call, [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Timing is a straightforward warm-up + fixed-sample mean/min/max measurement
+//! printed to stdout; there is no statistical analysis, plotting or HTML report.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard opaque value barrier, matching `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Benchmark driver. Created by [`criterion_group!`]'s `config` expression.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the duration of the untimed warm-up phase.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target duration of the timed phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark: warms up, then times `sample_size` samples and prints a
+    /// `name  time: [min mean max]` summary line.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters_per_sample: 1,
+            target_sample_time: self.measurement_time / self.sample_size.max(1) as u32,
+            samples: Vec::new(),
+        };
+
+        // Warm-up: run the routine untimed until the warm-up budget is spent, scaling
+        // the per-sample iteration count to keep each sample fast but measurable.
+        let warm_up_start = Instant::now();
+        let mut iterations: u64 = 0;
+        while warm_up_start.elapsed() < self.warm_up_time {
+            f(&mut bencher);
+            iterations += bencher.iters_per_sample;
+            if iterations >= 1_000_000 {
+                break;
+            }
+        }
+        bencher.samples.clear();
+
+        // Measurement: collect `sample_size` samples, but never run past roughly the
+        // configured measurement budget.
+        let measure_start = Instant::now();
+        while bencher.samples.len() < self.sample_size
+            && measure_start.elapsed() < self.measurement_time
+        {
+            f(&mut bencher);
+        }
+        if bencher.samples.is_empty() {
+            f(&mut bencher); // Always collect at least one sample.
+        }
+
+        let per_iter: Vec<Duration> = bencher
+            .samples
+            .iter()
+            .map(|(elapsed, iters)| *elapsed / (*iters).max(1) as u32)
+            .collect();
+        let min = per_iter.iter().min().copied().unwrap_or_default();
+        let max = per_iter.iter().max().copied().unwrap_or_default();
+        let mean = per_iter.iter().sum::<Duration>() / per_iter.len().max(1) as u32;
+        println!(
+            "{:<40} time: [{:>12?} {:>12?} {:>12?}]  ({} samples)",
+            id.as_ref(),
+            min,
+            mean,
+            max,
+            per_iter.len()
+        );
+        self
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the routine to time.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_per_sample: u64,
+    target_sample_time: Duration,
+    samples: Vec<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times one sample of `routine`, recording total elapsed time and iteration count.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.samples.push((elapsed, self.iters_per_sample));
+        // Adapt the iteration count so one sample costs roughly the per-sample share of
+        // the measurement budget.
+        if elapsed < self.target_sample_time / 2 {
+            self.iters_per_sample = (self.iters_per_sample * 2).min(1 << 20);
+        } else if elapsed > self.target_sample_time * 2 && self.iters_per_sample > 1 {
+            self.iters_per_sample /= 2;
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
