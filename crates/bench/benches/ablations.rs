@@ -1,10 +1,20 @@
 //! Ablations called out in DESIGN.md: splitting on/off is implicit in the architecture
 //! (the dispatcher always receives split sequents), so the measurable ablations are the
-//! prover order and parallel dispatch (§5.2).
+//! prover order, hint filtering, and the two dispatcher scaling mechanisms — the
+//! work-stealing parallel dispatch and the canonical-form result cache (§5.2, §5.3).
 use criterion::{criterion_group, criterion_main, Criterion};
-use jahob::{suite, verify_task, VerifyOptions};
-use jahob_provers::ProverId;
+use jahob::{run_suite, suite, verify_task, VerifyOptions};
+use jahob_provers::{Dispatcher, ProverContext, ProverId};
 use std::time::Duration;
+
+/// Options with the given thread count and cache switch (ignoring env overrides, so the
+/// ablation axes stay fixed no matter how the bench process is invoked).
+fn options(threads: usize, cache: bool) -> VerifyOptions {
+    VerifyOptions {
+        dispatcher: jahob::DispatcherConfig::pinned(threads, cache, 1),
+        ..VerifyOptions::default()
+    }
+}
 
 fn ablations(c: &mut Criterion) {
     let program = suite::sized_list();
@@ -15,9 +25,9 @@ fn ablations(c: &mut Criterion) {
         .expect("task");
 
     c.bench_function("ablation/order_cheap_first", |b| {
-        b.iter(|| verify_task(task, &VerifyOptions::default()))
+        b.iter(|| verify_task(task, &options(1, false)))
     });
-    let mut expensive_first = VerifyOptions::default();
+    let mut expensive_first = options(1, false);
     expensive_first.dispatcher.order = vec![
         ProverId::Fol,
         ProverId::Bapa,
@@ -29,16 +39,55 @@ fn ablations(c: &mut Criterion) {
     c.bench_function("ablation/order_expensive_first", |b| {
         b.iter(|| verify_task(task, &expensive_first))
     });
-    let mut parallel = VerifyOptions::default();
-    parallel.dispatcher.threads = 4;
-    c.bench_function("ablation/parallel_dispatch", |b| {
-        b.iter(|| verify_task(task, &parallel))
-    });
-    let mut no_hints = VerifyOptions::default();
+    let mut no_hints = options(1, false);
     no_hints.dispatcher.use_hints = false;
     c.bench_function("ablation/no_hint_filtering", |b| {
         b.iter(|| verify_task(task, &no_hints))
     });
+
+    // The scaling ablations run the whole Figure 15 suite: the cache only pays off when
+    // obligations recur across methods, and load balance only matters when obligation
+    // costs are skewed across a real batch. Each iteration builds a fresh dispatcher
+    // (inside run_suite), so cache-on measures a cold cache filled during the run.
+    for (name, threads, cache) in [
+        ("ablation/suite_seq_nocache", 1, false),
+        ("ablation/suite_seq_cache", 1, true),
+        ("ablation/suite_4threads_nocache", 4, false),
+        ("ablation/suite_4threads_cache", 4, true),
+    ] {
+        c.bench_function(name, |b| b.iter(|| run_suite(&options(threads, cache))));
+    }
+
+    // The suite hands the dispatcher only a handful of obligations per method, which is
+    // too small a batch for threads or caching to matter; the scaling regime the
+    // dispatcher is built for is one large skewed batch (the "prove the whole program's
+    // obligations at once" workload). Model it by tiling the sized list's obligations:
+    // most are microseconds, one costs ~100ms (a MONA attempt that fails over to BAPA),
+    // so a contiguous-chunk split would strand whole chunks behind the expensive
+    // copies while the shared queue keeps every worker busy — and with the cache on,
+    // every copy after the first is answered without running a prover.
+    let context = ProverContext {
+        set_vars: tasks[0].set_vars(),
+        fun_vars: tasks[0].fun_vars(),
+        ..ProverContext::default()
+    };
+    let batch: Vec<_> = std::iter::repeat_with(|| tasks.iter().flat_map(|t| t.obligations()))
+        .take(8)
+        .flatten()
+        .collect();
+    for (name, threads, cache) in [
+        ("ablation/batch_seq_nocache", 1, false),
+        ("ablation/batch_4threads_nocache", 4, false),
+        ("ablation/batch_seq_cache", 1, true),
+        ("ablation/batch_4threads_cache", 4, true),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let dispatcher = Dispatcher::with_config(options(threads, cache).dispatcher);
+                dispatcher.prove_all(&batch, &context)
+            })
+        });
+    }
 }
 
 criterion_group! {

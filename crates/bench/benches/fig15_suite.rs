@@ -1,8 +1,17 @@
 //! Figure 15: per-data-structure verification statistics (sequents proved per prover and
-//! verification times) for the whole suite of §7.
+//! verification times) for the whole suite of §7, plus the result-cache summary.
 use criterion::{criterion_group, criterion_main, Criterion};
 use jahob::{render_figure15, run_suite, suite, verify_program, VerifyOptions};
 use std::time::Duration;
+
+/// Options with fixed dispatcher knobs (immune to env overrides so the recorded
+/// numbers always measure what their bench id claims).
+fn options(threads: usize, cache: bool) -> VerifyOptions {
+    VerifyOptions {
+        dispatcher: jahob::DispatcherConfig::pinned(threads, cache, 1),
+        ..VerifyOptions::default()
+    }
+}
 
 fn fig15(c: &mut Criterion) {
     // Per-structure timed benchmarks for three representative structures (a list, an
@@ -17,11 +26,20 @@ fn fig15(c: &mut Criterion) {
         }
         let id = format!("fig15/{}", entry.name.replace(' ', "_"));
         c.bench_function(&id, |b| {
-            b.iter(|| verify_program(&entry.program, &VerifyOptions::default()))
+            b.iter(|| verify_program(&entry.program, &options(1, false)))
         });
     }
-    // Emit the full Figure 15-style table once.
-    let rows = run_suite(&VerifyOptions::default());
+    // The dispatcher scaling knobs over the whole suite: threads=1 vs 4, cache on/off.
+    for (id, threads, cache) in [
+        ("fig15/suite_threads1_cache_off", 1, false),
+        ("fig15/suite_threads1_cache_on", 1, true),
+        ("fig15/suite_threads4_cache_off", 4, false),
+        ("fig15/suite_threads4_cache_on", 4, true),
+    ] {
+        c.bench_function(id, |b| b.iter(|| run_suite(&options(threads, cache))));
+    }
+    // Emit the full Figure 15-style table (with the cache summary footer) once.
+    let rows = run_suite(&options(1, true));
     println!("{}", render_figure15(&rows));
 }
 

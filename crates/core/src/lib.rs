@@ -28,7 +28,7 @@ use jahob_provers::{Dispatcher, LemmaLibrary, ProverContext, ProverId, Verificat
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-pub use jahob_provers::{DispatcherConfig, ProverStats};
+pub use jahob_provers::{CacheStats, DispatcherConfig, ProverStats, SequentCache};
 
 /// Options for a verification run.
 #[derive(Debug, Clone, Default)]
@@ -60,15 +60,30 @@ impl MethodResult {
     }
 }
 
-/// Verifies one method task.
+/// Verifies one method task with a fresh dispatcher (and hence a fresh result cache).
+/// To share one cache across methods, build a [`Dispatcher`] once and use
+/// [`verify_task_with`].
 pub fn verify_task(task: &MethodTask, options: &VerifyOptions) -> MethodResult {
-    let dispatcher = Dispatcher {
-        config: options.dispatcher.clone(),
-    };
+    verify_task_with(
+        &Dispatcher::with_config(options.dispatcher.clone()),
+        task,
+        &options.lemmas,
+    )
+}
+
+/// Verifies one method task with an existing dispatcher. Because cloned dispatchers
+/// share their result cache, calling this with the same dispatcher for every method of
+/// a program lets obligations proved once (class invariants re-established on every
+/// path) be answered from the cache for all later methods.
+pub fn verify_task_with(
+    dispatcher: &Dispatcher,
+    task: &MethodTask,
+    lemmas: &LemmaLibrary,
+) -> MethodResult {
     let context = ProverContext {
         set_vars: task.set_vars(),
         fun_vars: task.fun_vars(),
-        lemmas: options.lemmas.clone(),
+        lemmas: lemmas.clone(),
     };
     let obligations = task.obligations();
     let report = dispatcher.prove_all(&obligations, &context);
@@ -78,11 +93,25 @@ pub fn verify_task(task: &MethodTask, options: &VerifyOptions) -> MethodResult {
     }
 }
 
-/// Verifies every method of a program.
+/// Verifies every method of a program. One dispatcher — and therefore one result
+/// cache — is shared across all methods.
 pub fn verify_program(program: &Program, options: &VerifyOptions) -> Vec<MethodResult> {
+    verify_program_with(
+        &Dispatcher::with_config(options.dispatcher.clone()),
+        program,
+        &options.lemmas,
+    )
+}
+
+/// Verifies every method of a program with an existing dispatcher (sharing its cache).
+pub fn verify_program_with(
+    dispatcher: &Dispatcher,
+    program: &Program,
+    lemmas: &LemmaLibrary,
+) -> Vec<MethodResult> {
     program_tasks(program)
         .iter()
-        .map(|t| verify_task(t, options))
+        .map(|t| verify_task_with(dispatcher, t, lemmas))
         .collect()
 }
 
@@ -98,35 +127,55 @@ pub struct SuiteRow {
     pub total_sequents: usize,
     /// Number of proved sequents.
     pub proved_sequents: usize,
+    /// Sequents answered from the result cache.
+    pub cache_hits: usize,
+    /// Sequents that fell through the cache to the provers (0 when caching is off).
+    pub cache_misses: usize,
     /// Total verification time.
     pub total_time: Duration,
 }
 
+impl SuiteRow {
+    /// Aggregates the per-method reports of one data structure into a row.
+    fn from_results(name: &str, results: &[MethodResult]) -> SuiteRow {
+        let mut row = SuiteRow {
+            name: name.to_string(),
+            per_prover: BTreeMap::new(),
+            total_sequents: 0,
+            proved_sequents: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            total_time: Duration::ZERO,
+        };
+        for r in results {
+            for (id, s) in &r.report.per_prover {
+                let e = row.per_prover.entry(*id).or_default();
+                e.proved += s.proved;
+                e.attempted += s.attempted;
+                e.cache_hits += s.cache_hits;
+                e.time += s.time;
+            }
+            row.total_sequents += r.report.total_sequents;
+            row.proved_sequents += r.report.proved_sequents;
+            row.cache_hits += r.report.cache_hits;
+            row.cache_misses += r.report.cache_misses;
+            row.total_time += r.report.total_time;
+        }
+        row
+    }
+}
+
 /// Runs the whole suite of §7 and returns one row per data structure (Figure 15).
+/// A single dispatcher — and so a single result cache — is shared across the whole
+/// suite: invariant obligations recurring across structures and methods are proved
+/// once and answered from the cache thereafter.
 pub fn run_suite(options: &VerifyOptions) -> Vec<SuiteRow> {
+    let dispatcher = Dispatcher::with_config(options.dispatcher.clone());
     suite::full_suite()
         .iter()
         .map(|entry| {
-            let results = verify_program(&entry.program, options);
-            let mut row = SuiteRow {
-                name: entry.name.to_string(),
-                per_prover: BTreeMap::new(),
-                total_sequents: 0,
-                proved_sequents: 0,
-                total_time: Duration::ZERO,
-            };
-            for r in results {
-                for (id, s) in &r.report.per_prover {
-                    let e = row.per_prover.entry(*id).or_default();
-                    e.proved += s.proved;
-                    e.attempted += s.attempted;
-                    e.time += s.time;
-                }
-                row.total_sequents += r.report.total_sequents;
-                row.proved_sequents += r.report.proved_sequents;
-                row.total_time += r.report.total_time;
-            }
-            row
+            let results = verify_program_with(&dispatcher, &entry.program, &options.lemmas);
+            SuiteRow::from_results(entry.name, &results)
         })
         .collect()
 }
@@ -162,6 +211,16 @@ pub fn render_figure15(rows: &[SuiteRow]) -> String {
             row.proved_sequents,
             row.total_sequents,
             row.total_time.as_secs_f64()
+        ));
+    }
+    let hits: usize = rows.iter().map(|r| r.cache_hits).sum();
+    let misses: usize = rows.iter().map(|r| r.cache_misses).sum();
+    if hits + misses > 0 {
+        out.push_str(&format!(
+            "Result cache: {} hits, {} misses ({:.1}% hit rate) across the suite.\n",
+            hits,
+            misses,
+            100.0 * hits as f64 / (hits + misses) as f64
         ));
     }
     out
@@ -230,18 +289,7 @@ mod tests {
             .take(2)
             .map(|entry| {
                 let results = verify_program(&entry.program, &options);
-                let mut row = SuiteRow {
-                    name: entry.name.to_string(),
-                    per_prover: BTreeMap::new(),
-                    total_sequents: 0,
-                    proved_sequents: 0,
-                    total_time: Duration::ZERO,
-                };
-                for r in results {
-                    row.total_sequents += r.report.total_sequents;
-                    row.proved_sequents += r.report.proved_sequents;
-                }
-                row
+                SuiteRow::from_results(entry.name, &results)
             })
             .collect();
         let table = render_figure15(&rows);

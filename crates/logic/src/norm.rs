@@ -239,6 +239,60 @@ pub fn canonicalize(form: &Form) -> Form {
     simplify(&f)
 }
 
+/// Renames every bound variable to a canonical name (`?b<depth>`, its de Bruijn
+/// level: the number of enclosing bound variables), so that alpha-equivalent formulas
+/// become structurally equal. Free variables are untouched. The `?` prefix cannot be
+/// produced by the parser, so the canonical names never collide with (or capture)
+/// program and specification variables.
+///
+/// Naming by depth rather than by traversal order matters for AC canonicalisation:
+/// sibling binders (two quantified disjuncts, say) receive the *same* canonical name,
+/// so [`sort_commutative`] orders them by their bodies — a traversal-order numbering
+/// would instead freeze whatever sibling order the input happened to have.
+///
+/// # Examples
+///
+/// ```
+/// use jahob_logic::{norm::alpha_normalize, parse_form};
+/// let a = alpha_normalize(&parse_form("EX v. v : content").unwrap());
+/// let b = alpha_normalize(&parse_form("EX w. w : content").unwrap());
+/// assert_eq!(a, b);
+/// ```
+pub fn alpha_normalize(form: &Form) -> Form {
+    fn go(form: &Form, env: &mut Vec<(Ident, Ident)>) -> Form {
+        match form {
+            Form::Var(v) => {
+                // Innermost binding wins (shadowing).
+                for (from, to) in env.iter().rev() {
+                    if from == v {
+                        return Form::Var(to.clone());
+                    }
+                }
+                form.clone()
+            }
+            Form::Const(_) => form.clone(),
+            Form::Typed(f, t) => Form::Typed(Box::new(go(f, env)), t.clone()),
+            Form::App(fun, args) => Form::App(
+                Box::new(go(fun, env)),
+                args.iter().map(|a| go(a, env)).collect(),
+            ),
+            Form::Binder(b, vars, body) => {
+                let depth = env.len();
+                let mut renamed = Vec::with_capacity(vars.len());
+                for (v, t) in vars {
+                    let fresh = format!("?b{}", env.len());
+                    env.push((v.clone(), fresh.clone()));
+                    renamed.push((fresh, t.clone()));
+                }
+                let body = go(body, env);
+                env.truncate(depth);
+                Form::Binder(*b, renamed, Box::new(body))
+            }
+        }
+    }
+    go(form, &mut Vec::new())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,6 +404,25 @@ mod tests {
         assert!(a.is_true());
         let b = canonicalize(&p("n : {n} Un nodes"));
         assert!(b.is_true());
+    }
+
+    #[test]
+    fn alpha_normalize_identifies_renamed_binders() {
+        assert_eq!(
+            alpha_normalize(&p("ALL x. x : s --> x ~= null")),
+            alpha_normalize(&p("ALL y. y : s --> y ~= null"))
+        );
+        // Nested binders and shadowing.
+        assert_eq!(
+            alpha_normalize(&p("EX a. a : s & (ALL a. a = a)")),
+            alpha_normalize(&p("EX b. b : s & (ALL c. c = c)"))
+        );
+        // Free variables are untouched.
+        assert_ne!(
+            alpha_normalize(&p("EX v. v : content")),
+            alpha_normalize(&p("EX v. v : nodes"))
+        );
+        assert_eq!(alpha_normalize(&p("x : s")), p("x : s"));
     }
 
     #[test]

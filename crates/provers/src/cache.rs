@@ -1,0 +1,299 @@
+//! Canonical-form-keyed prover result cache.
+//!
+//! Identical sequents recur across the methods of one data structure: every path
+//! re-establishes the class invariants, and the splitter re-emits the same background
+//! assumptions per goal. The dispatcher therefore keys each obligation by a canonical
+//! form of its (definition-inlined) sequent and consults a sharded in-memory cache
+//! before any prover runs.
+//!
+//! The canonical form is computed with the same machinery the syntactic prover (§6.1)
+//! trusts: [`inline_definitions`] collapses generated-variable equations,
+//! [`canonicalize`] strips comments and AC-sorts commutative operators, and
+//! [`alpha_normalize`] renames bound variables to position-canonical names. On top of
+//! that, assumptions are deduplicated and sorted, so permuted or duplicated assumption
+//! lists key identically. Every transformation preserves logical equivalence, so a
+//! cache hit on a proved entry is sound: the hit sequent is equivalent to one a prover
+//! actually discharged.
+
+use jahob_logic::norm::{alpha_normalize, canonicalize, inline_definitions};
+use jahob_logic::{Form, Sequent};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::ProverId;
+
+/// Number of independently locked shards. Sixteen keeps lock contention negligible for
+/// the thread counts the dispatcher runs (the work queue hands out one obligation at a
+/// time, so at most `threads` lookups are in flight).
+const SHARDS: usize = 16;
+
+/// The canonical key of a sequent: a printed form that is invariant under
+/// definition inlining, comment stripping, AC permutation of commutative operators,
+/// alpha-renaming of bound variables, and duplication or permutation of assumptions.
+///
+/// Key equality is exact string equality of the canonical form, so structurally
+/// distinct sequents can never collide (a 64-bit hash is precomputed only to pick a
+/// shard and speed up `HashMap` probing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequentKey {
+    repr: String,
+    hash: u64,
+}
+
+impl Hash for SequentKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+/// One round of the canonical-form iteration: canonicalise, then rename binders.
+///
+/// A single pass is not confluent for AC-permuted binders — `sort_commutative` orders
+/// sibling subtrees by their *current* bound-variable names, and the alpha pass then
+/// numbers binders in the resulting traversal order — so the composition is iterated to
+/// a fixpoint (bounded; real specification formulas converge in at most two rounds).
+fn key_form(form: &Form) -> Form {
+    let mut current = canonicalize(&alpha_normalize(form));
+    for _ in 0..4 {
+        let next = canonicalize(&alpha_normalize(&current));
+        if next == current {
+            break;
+        }
+        current = next;
+    }
+    current
+}
+
+impl SequentKey {
+    /// Computes the canonical key of `sequent`.
+    pub fn of(sequent: &Sequent) -> SequentKey {
+        SequentKey::of_inlined(&inline_definitions(sequent))
+    }
+
+    /// Computes the canonical key of a sequent whose generated-variable definitions
+    /// have already been inlined (the dispatcher inlines once and reuses the result
+    /// for both proving and keying).
+    pub(crate) fn of_inlined(inlined: &Sequent) -> SequentKey {
+        let goal = key_form(&inlined.goal);
+        // Sorting + deduplicating makes the key invariant under assumption order and
+        // repetition; assumptions that canonicalise to `True` carry no information.
+        let mut assumptions: Vec<String> = inlined
+            .assumptions
+            .iter()
+            .map(key_form)
+            .filter(|a| !a.is_true())
+            .map(|a| a.to_string())
+            .collect();
+        assumptions.sort();
+        assumptions.dedup();
+        let repr = format!("{} |- {}", assumptions.join(" ;; "), goal);
+        let mut hasher = DefaultHasher::new();
+        repr.hash(&mut hasher);
+        SequentKey {
+            hash: hasher.finish(),
+            repr,
+        }
+    }
+
+    /// The canonical printed form backing the key (stable within a process run; useful
+    /// for debugging cache behaviour).
+    pub fn repr(&self) -> &str {
+        &self.repr
+    }
+}
+
+/// The full lookup key of one obligation: the canonical sequent plus everything else
+/// that can change the dispatcher's verdict — the hint-filtered variant actually
+/// attempted first, whether the interactive library has a proof registered, the
+/// set/function classification of the sequent's free variables (it steers the SMT and
+/// FOL translations), and a fingerprint of the dispatcher configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    pub sequent: SequentKey,
+    /// Canonical key of the hint-filtered sequent, when hints are applied.
+    pub hinted: Option<SequentKey>,
+    /// Free variables the prover context classifies as sets, then as functions.
+    pub var_classes: String,
+    /// Whether the interactive lemma library has this obligation registered.
+    pub lemma_registered: bool,
+    /// Prover order and hint usage of the dispatcher that stored the entry.
+    pub config_fingerprint: String,
+}
+
+/// The cached verdict for one obligation key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CachedOutcome {
+    /// Whether some prover discharged the sequent.
+    pub proved: bool,
+    /// The prover credited with the proof (`None` when unproved).
+    pub prover: Option<ProverId>,
+    /// The per-prover attempted counts the original (uncached) run recorded. Replayed
+    /// on every hit so the Figure 15 "attempted" columns agree between cached and
+    /// uncached runs (only the times differ — hits cost no prover time).
+    pub attempted: Vec<(ProverId, usize)>,
+}
+
+/// Lifetime hit/miss counters of a cache (across every `prove_all` run that shared it).
+///
+/// Under parallel dispatch the split between hits and misses is not exactly
+/// reproducible: two workers can race to the same cold key and both record a miss
+/// (both then prove the sequent and store the same verdict). Verdicts — which sequents
+/// are proved — are deterministic; only the hit/miss accounting wobbles by the number
+/// of such collisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the provers.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; zero when the cache was never consulted.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded, mutex-protected map from canonical obligation keys to prover verdicts.
+///
+/// The cache is shared by cloning the owning [`crate::Dispatcher`] (the dispatcher
+/// holds it behind an `Arc`), so one cache can serve every method of a program — or a
+/// whole suite run — across worker threads.
+#[derive(Debug, Default)]
+pub struct SequentCache {
+    shards: [Mutex<HashMap<CacheKey, CachedOutcome>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SequentCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        SequentCache::default()
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, CachedOutcome>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() % SHARDS as u64) as usize]
+    }
+
+    /// Looks up a key, recording a hit or miss in the lifetime counters.
+    pub(crate) fn lookup(&self, key: &CacheKey) -> Option<CachedOutcome> {
+        let found = self
+            .shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)
+            .cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Stores the verdict for a key.
+    pub(crate) fn insert(&self, key: CacheKey, outcome: CachedOutcome) {
+        self.shard(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, outcome);
+    }
+
+    /// Number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Returns `true` if no verdict has been cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jahob_logic::parse_form;
+
+    fn seq(assumptions: &[&str], goal: &str) -> Sequent {
+        Sequent::new(
+            assumptions
+                .iter()
+                .map(|a| parse_form(a).expect("parse"))
+                .collect(),
+            parse_form(goal).expect("parse"),
+        )
+    }
+
+    #[test]
+    fn keys_are_invariant_under_ac_permutation_and_duplication() {
+        let a = SequentKey::of(&seq(&["p & q", "x : s"], "{x} Un content = content Un {x}"));
+        let b = SequentKey::of(&seq(
+            &["x : s", "q & p", "x : s"],
+            "content Un {x} = {x} Un content",
+        ));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn keys_are_invariant_under_alpha_renaming_and_inlining() {
+        let a = SequentKey::of(&seq(&["asg$1 = {x} Un content"], "EX v. v : asg$1"));
+        let b = SequentKey::of(&seq(&[], "EX w. w : content Un {x}"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_sequents_have_distinct_keys() {
+        let a = SequentKey::of(&seq(&["p"], "q"));
+        let b = SequentKey::of(&seq(&["p"], "r"));
+        assert_ne!(a, b);
+        let c = SequentKey::of(&seq(&["p", "q"], "r"));
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn cache_round_trips_and_counts() {
+        let cache = SequentCache::new();
+        let key = CacheKey {
+            sequent: SequentKey::of(&seq(&["p"], "p")),
+            hinted: None,
+            var_classes: String::new(),
+            lemma_registered: false,
+            config_fingerprint: "test".into(),
+        };
+        assert_eq!(cache.lookup(&key), None);
+        let outcome = CachedOutcome {
+            proved: true,
+            prover: Some(ProverId::Syntactic),
+            attempted: vec![(ProverId::Syntactic, 1)],
+        };
+        cache.insert(key.clone(), outcome.clone());
+        assert_eq!(cache.lookup(&key), Some(outcome));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -21,17 +21,33 @@
 //! The dispatcher tries the provers in a configurable order (§5.2), optionally spreading
 //! independent obligations over worker threads, and records per-prover sequent counts and
 //! times — the data reported in Figures 7 and 15 of the paper.
+//!
+//! Two scaling mechanisms sit in front of the provers:
+//!
+//! * **work-stealing dispatch** — with [`DispatcherConfig::threads`] > 1, workers pull
+//!   individual obligations (in batches of [`DispatcherConfig::granularity`]) from one
+//!   shared atomic queue, so skewed obligation costs no longer leave threads idle the
+//!   way a contiguous-chunk split does;
+//! * **result caching** — with [`DispatcherConfig::cache`] enabled, every obligation is
+//!   keyed by the canonical form of its definition-inlined sequent ([`SequentKey`]) and
+//!   looked up in a sharded in-memory cache before any prover runs ([`cache`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
+
+pub use cache::{CacheStats, SequentCache, SequentKey};
+
+use cache::{CacheKey, CachedOutcome};
 use jahob_logic::norm::{canonicalize, inline_definitions};
 use jahob_logic::simplify::{simplify, strip_comments_deep};
 use jahob_logic::Form;
 use jahob_vcgen::ProofObligation;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// The provers of the integrated reasoning system.
@@ -141,34 +157,96 @@ pub struct ProverContext {
 }
 
 /// Configuration of the dispatcher.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DispatcherConfig {
     /// The provers to try, in order (§5.2: "the user lists the provers starting from the
     /// ones that are most likely to succeed or fail quickly").
     pub order: Vec<ProverId>,
     /// Spread independent obligations over this many worker threads (1 = sequential).
+    /// Workers pull obligations from one shared queue, so an expensive obligation never
+    /// strands the rest of a pre-assigned chunk behind it.
     pub threads: usize,
     /// Apply `by` hints (assumption selection) when present.
     pub use_hints: bool,
+    /// Consult (and fill) the canonical-form-keyed result cache before running provers.
+    pub cache: bool,
+    /// How many obligations a worker claims from the shared queue per grab. `1` gives
+    /// the best load balance; larger batches amortise queue traffic when obligations
+    /// are uniformly tiny. Values are clamped to at least 1.
+    pub granularity: usize,
 }
 
 impl Default for DispatcherConfig {
+    /// The baseline configuration (sequential, hints on, cache on, granularity 1),
+    /// with [`DispatcherConfig::with_env_overrides`] applied on top so a whole test or
+    /// bench run can be switched to the parallel or uncached path from the environment.
     fn default() -> Self {
+        DispatcherConfig::pinned(1, true, 1).with_env_overrides()
+    }
+}
+
+impl DispatcherConfig {
+    /// The baseline configuration with explicit scaling knobs and **no** environment
+    /// overrides. Benches and differential tests use this so their measurements and
+    /// comparisons mean what their names claim no matter how the process is invoked;
+    /// everything else should go through `Default` (which honours the environment).
+    pub fn pinned(threads: usize, cache: bool, granularity: usize) -> Self {
         DispatcherConfig {
             order: ProverId::default_order(),
-            threads: 1,
+            threads,
             use_hints: true,
+            cache,
+            granularity,
         }
+    }
+
+    /// Applies the `JAHOB_THREADS`, `JAHOB_CACHE` and `JAHOB_GRANULARITY` environment
+    /// variables on top of `self` and returns the result. Unset or unparsable variables
+    /// leave the corresponding field untouched. `JAHOB_CACHE` accepts `1`/`on`/`true`/
+    /// `yes` and `0`/`off`/`false`/`no` (case-insensitive).
+    ///
+    /// This is what lets CI exercise the work-stealing and cached paths on every push:
+    /// the test job re-runs the whole suite under `JAHOB_THREADS=4 JAHOB_CACHE=on`.
+    pub fn with_env_overrides(mut self) -> Self {
+        if let Ok(v) = std::env::var("JAHOB_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                self.threads = n.max(1);
+            }
+        }
+        if let Ok(v) = std::env::var("JAHOB_CACHE") {
+            match v.trim().to_ascii_lowercase().as_str() {
+                "1" | "on" | "true" | "yes" => self.cache = true,
+                "0" | "off" | "false" | "no" => self.cache = false,
+                _ => {}
+            }
+        }
+        if let Ok(v) = std::env::var("JAHOB_GRANULARITY") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                self.granularity = n.max(1);
+            }
+        }
+        self
+    }
+
+    /// A short stable description of the fields that can change a prover verdict
+    /// (order and hint usage), mixed into every cache key so entries written under one
+    /// configuration are never served to another.
+    fn fingerprint(&self) -> String {
+        let order: Vec<&str> = self.order.iter().map(|p| p.display_name()).collect();
+        format!("order={}|hints={}", order.join(","), self.use_hints)
     }
 }
 
 /// Statistics for one prover within a verification run (one row cell of Figure 15).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProverStats {
-    /// Number of sequents this prover proved.
+    /// Number of sequents this prover proved (including cache hits credited to it).
     pub proved: usize,
-    /// Number of sequents it attempted (including failures).
+    /// Number of sequents it attempted (including failures and cache hits).
     pub attempted: usize,
+    /// Of `proved`, how many were answered from the result cache rather than by
+    /// actually re-running this prover.
+    pub cache_hits: usize,
     /// Total time spent in this prover.
     pub time: Duration,
 }
@@ -182,8 +260,15 @@ pub struct VerificationReport {
     pub total_sequents: usize,
     /// Number of sequents proved by some prover.
     pub proved_sequents: usize,
-    /// Descriptions of the obligations no prover could discharge.
+    /// Descriptions of the obligations no prover could discharge, in obligation order
+    /// (the order is deterministic even under parallel dispatch: per-obligation results
+    /// are merged by obligation index, not by thread completion order).
     pub unproved: Vec<String>,
+    /// Obligations answered from the result cache during this run.
+    pub cache_hits: usize,
+    /// Obligations that fell through the cache to the provers during this run. Both
+    /// counters stay 0 when caching is disabled.
+    pub cache_misses: usize,
     /// Total wall-clock time of the run.
     pub total_time: Duration,
 }
@@ -194,7 +279,9 @@ impl VerificationReport {
         self.proved_sequents == self.total_sequents
     }
 
-    /// Renders the report in the style of Figure 7 of the paper.
+    /// Renders the report in the style of Figure 7 of the paper. When the result cache
+    /// was consulted (`cache_hits + cache_misses > 0`), a
+    /// `Result cache: H hits, M misses (R% hit rate).` line follows the sequent totals.
     pub fn render(&self, task_name: &str) -> String {
         let mut out = String::new();
         out.push_str(&format!("$ jahob {task_name}\n"));
@@ -223,6 +310,14 @@ impl VerificationReport {
             "A total of {} sequents out of {} proved.\n",
             self.proved_sequents, self.total_sequents
         ));
+        if self.cache_hits + self.cache_misses > 0 {
+            out.push_str(&format!(
+                "Result cache: {} hits, {} misses ({:.1}% hit rate).\n",
+                self.cache_hits,
+                self.cache_misses,
+                100.0 * self.cache_hits as f64 / (self.cache_hits + self.cache_misses) as f64
+            ));
+        }
         if self.succeeded() {
             out.push_str(&format!("[{task_name}]\n0=== Verification SUCCEEDED.\n"));
         } else {
@@ -235,51 +330,80 @@ impl VerificationReport {
     }
 
     /// Merges another report into this one (used when aggregating methods or threads).
+    /// Merging is order-dependent only in `unproved`; the dispatcher always merges
+    /// per-obligation reports in obligation order so the result is deterministic.
     pub fn merge(&mut self, other: &VerificationReport) {
         for (id, s) in &other.per_prover {
             let entry = self.per_prover.entry(*id).or_default();
             entry.proved += s.proved;
             entry.attempted += s.attempted;
+            entry.cache_hits += s.cache_hits;
             entry.time += s.time;
         }
         self.total_sequents += other.total_sequents;
         self.proved_sequents += other.proved_sequents;
         self.unproved.extend(other.unproved.iter().cloned());
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
         self.total_time += other.total_time;
     }
 }
 
 /// The integrated-reasoning dispatcher.
+///
+/// Cloning a dispatcher shares its result cache (the cache sits behind an `Arc`), so
+/// one cache can serve every method of a program — or a whole suite — while each clone
+/// keeps its own configuration.
 #[derive(Debug, Clone, Default)]
 pub struct Dispatcher {
-    /// Configuration (prover order, threads, hint usage).
+    /// Configuration (prover order, threads, caching, hint usage).
     pub config: DispatcherConfig,
+    cache: Arc<SequentCache>,
 }
 
 impl Dispatcher {
-    /// Creates a dispatcher with the default prover order.
+    /// Creates a dispatcher with the default prover order and a fresh cache.
     pub fn new() -> Self {
         Dispatcher::default()
     }
 
-    /// Creates a dispatcher with an explicit prover order.
-    pub fn with_order(order: Vec<ProverId>) -> Self {
+    /// Creates a dispatcher with the given configuration and a fresh cache.
+    pub fn with_config(config: DispatcherConfig) -> Self {
         Dispatcher {
-            config: DispatcherConfig {
-                order,
-                ..DispatcherConfig::default()
-            },
+            config,
+            cache: Arc::new(SequentCache::new()),
         }
     }
 
+    /// Creates a dispatcher with an explicit prover order.
+    pub fn with_order(order: Vec<ProverId>) -> Self {
+        Dispatcher::with_config(DispatcherConfig {
+            order,
+            ..DispatcherConfig::default()
+        })
+    }
+
+    /// The result cache shared by this dispatcher and all its clones.
+    pub fn cache(&self) -> &SequentCache {
+        &self.cache
+    }
+
     /// Proves a batch of obligations, returning the aggregated report.
+    ///
+    /// With `threads > 1`, workers claim obligations from one shared atomic queue
+    /// ([`DispatcherConfig::granularity`] obligations per claim) instead of being
+    /// pre-assigned contiguous chunks: a single expensive obligation then occupies one
+    /// worker while the others drain the rest of the queue. Per-obligation results are
+    /// written into per-index slots and merged in obligation order, so the report —
+    /// including the `unproved` list — is identical for every thread count.
     pub fn prove_all(
         &self,
         obligations: &[ProofObligation],
         context: &ProverContext,
     ) -> VerificationReport {
         let start = Instant::now();
-        let mut report = if self.config.threads <= 1 || obligations.len() <= 1 {
+        let threads = self.config.threads.max(1).min(obligations.len().max(1));
+        let mut report = if threads <= 1 {
             let mut r = VerificationReport::default();
             for ob in obligations {
                 let one = self.prove_one(ob, context);
@@ -287,51 +411,169 @@ impl Dispatcher {
             }
             r
         } else {
-            let chunks: Vec<&[ProofObligation]> = obligations
-                .chunks(obligations.len().div_ceil(self.config.threads))
-                .collect();
-            let merged = Mutex::new(VerificationReport::default());
+            let granularity = self.config.granularity.max(1);
+            let next = AtomicUsize::new(0);
+            let slots: Vec<OnceLock<VerificationReport>> =
+                (0..obligations.len()).map(|_| OnceLock::new()).collect();
             std::thread::scope(|scope| {
-                for chunk in chunks {
-                    let merged = &merged;
-                    scope.spawn(move || {
-                        let mut local = VerificationReport::default();
-                        for ob in chunk {
-                            local.merge(&self.prove_one(ob, context));
+                for _ in 0..threads {
+                    let next = &next;
+                    let slots = &slots;
+                    scope.spawn(move || loop {
+                        let lo = next.fetch_add(granularity, Ordering::Relaxed);
+                        if lo >= obligations.len() {
+                            break;
                         }
-                        merged.lock().expect("report mutex poisoned").merge(&local);
+                        let hi = (lo + granularity).min(obligations.len());
+                        for (i, ob) in obligations[lo..hi].iter().enumerate() {
+                            let one = self.prove_one(ob, context);
+                            slots[lo + i]
+                                .set(one)
+                                .expect("obligation indices are claimed exactly once");
+                        }
                     });
                 }
             });
-            merged.into_inner().expect("report mutex poisoned")
+            let mut r = VerificationReport::default();
+            for slot in slots {
+                let one = slot
+                    .into_inner()
+                    .expect("every claimed obligation stores a result");
+                r.merge(&one);
+            }
+            r
         };
         report.total_time = start.elapsed();
         report
     }
 
-    /// Attempts one obligation with each prover in order; the first success wins.
+    /// Attempts one obligation, consulting the result cache first when enabled.
     pub fn prove_one(
         &self,
         obligation: &ProofObligation,
         context: &ProverContext,
     ) -> VerificationReport {
+        // §5.3: before any prover runs, substitute the definitions of the intermediate
+        // variables introduced by the VC generator (assignment temporaries, pre-state
+        // snapshots, splitter renamings). Every prover then works on the collapsed
+        // sequent. The hinted variant, when present, is what the provers try first.
+        let hinted = (self.config.use_hints && !obligation.hints.is_empty())
+            .then(|| inline_definitions(&obligation.hinted_sequent()));
+        let full = inline_definitions(&obligation.sequent);
+        if !self.config.cache {
+            return self.prove_one_uncached(obligation, context, hinted.as_ref(), &full);
+        }
+        let key = self.cache_key(obligation, context, hinted.as_ref(), &full);
+        if let Some(outcome) = self.cache.lookup(&key) {
+            return self.report_from_cache(obligation, outcome);
+        }
+        let mut report = self.prove_one_uncached(obligation, context, hinted.as_ref(), &full);
+        report.cache_misses = 1;
+        let prover = report
+            .per_prover
+            .iter()
+            .find(|(_, s)| s.proved > 0)
+            .map(|(id, _)| *id);
+        let attempted = report
+            .per_prover
+            .iter()
+            .map(|(id, s)| (*id, s.attempted))
+            .collect();
+        self.cache.insert(
+            key,
+            CachedOutcome {
+                proved: report.proved_sequents == 1,
+                prover,
+                attempted,
+            },
+        );
+        report
+    }
+
+    /// Builds the cache lookup key for one obligation: the canonical full sequent, the
+    /// canonical hinted sequent (when one is attempted), the set/function classification
+    /// of the sequent's free variables, whether the interactive library knows the
+    /// obligation, and the dispatcher configuration fingerprint.
+    fn cache_key(
+        &self,
+        obligation: &ProofObligation,
+        context: &ProverContext,
+        hinted: Option<&jahob_logic::Sequent>,
+        full: &jahob_logic::Sequent,
+    ) -> CacheKey {
+        let mut vars = full.free_vars();
+        if let Some(h) = hinted {
+            vars.extend(h.free_vars());
+        }
+        let mut classes = String::new();
+        for v in &vars {
+            if context.set_vars.contains(v) {
+                classes.push_str("S:");
+                classes.push_str(v);
+                classes.push(';');
+            }
+            if context.fun_vars.contains(v) {
+                classes.push_str("F:");
+                classes.push_str(v);
+                classes.push(';');
+            }
+        }
+        CacheKey {
+            sequent: SequentKey::of_inlined(full),
+            hinted: hinted.map(SequentKey::of_inlined),
+            var_classes: classes,
+            lemma_registered: context.lemmas.contains(obligation),
+            config_fingerprint: self.config.fingerprint(),
+        }
+    }
+
+    /// Materialises a per-obligation report from a cached verdict: the attempted
+    /// counts of the original run are replayed (with zero time) and the original
+    /// prover is credited, so Figure 7/15 attributions agree with an uncached run.
+    fn report_from_cache(
+        &self,
+        obligation: &ProofObligation,
+        outcome: CachedOutcome,
+    ) -> VerificationReport {
+        let mut report = VerificationReport {
+            total_sequents: 1,
+            cache_hits: 1,
+            ..VerificationReport::default()
+        };
+        for (prover, attempted) in &outcome.attempted {
+            report.per_prover.entry(*prover).or_default().attempted += attempted;
+        }
+        if outcome.proved {
+            report.proved_sequents = 1;
+            if let Some(prover) = outcome.prover {
+                let stats = report.per_prover.entry(prover).or_default();
+                stats.proved += 1;
+                stats.cache_hits += 1;
+            }
+        } else {
+            report.unproved.push(obligation.sequent.describe());
+        }
+        report
+    }
+
+    /// Attempts one obligation with each prover in order; the first success wins.
+    /// `hinted` is the inlined hint-filtered sequent (tried first when present) and
+    /// `full` the inlined full sequent.
+    fn prove_one_uncached(
+        &self,
+        obligation: &ProofObligation,
+        context: &ProverContext,
+        hinted: Option<&jahob_logic::Sequent>,
+        full: &jahob_logic::Sequent,
+    ) -> VerificationReport {
         let mut report = VerificationReport {
             total_sequents: 1,
             ..VerificationReport::default()
         };
-        let sequent = if self.config.use_hints && !obligation.hints.is_empty() {
-            obligation.hinted_sequent()
-        } else {
-            obligation.sequent.clone()
-        };
-        // §5.3: before any prover runs, substitute the definitions of the intermediate
-        // variables introduced by the VC generator (assignment temporaries, pre-state
-        // snapshots, splitter renamings). Every prover then works on the collapsed
-        // sequent.
-        let sequent = inline_definitions(&sequent);
+        let sequent = hinted.unwrap_or(full);
         for prover in &self.config.order {
             let start = Instant::now();
-            let proved = attempt(*prover, &sequent, obligation, context);
+            let proved = attempt(*prover, sequent, obligation, context);
             let elapsed = start.elapsed();
             let stats = report.per_prover.entry(*prover).or_default();
             stats.attempted += 1;
@@ -344,14 +586,13 @@ impl Dispatcher {
         }
         // When hints narrowed the sequent and nothing succeeded, retry the provers with
         // the full assumption set (the hints are advice, not a restriction).
-        if self.config.use_hints && !obligation.hints.is_empty() {
-            let full = inline_definitions(&obligation.sequent);
+        if hinted.is_some() {
             for prover in &self.config.order {
                 if matches!(prover, ProverId::Syntactic) {
                     continue;
                 }
                 let start = Instant::now();
-                let proved = attempt(*prover, &full, obligation, context);
+                let proved = attempt(*prover, full, obligation, context);
                 let elapsed = start.elapsed();
                 let stats = report.per_prover.entry(*prover).or_default();
                 stats.attempted += 1;

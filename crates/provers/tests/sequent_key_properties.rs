@@ -1,0 +1,220 @@
+//! Property tests for [`jahob_provers::SequentKey`], the canonical form behind the
+//! dispatcher's result cache.
+//!
+//! The cache is only sound (and only earns hits) if the key is invariant under the
+//! rewrites the dispatcher considers meaning-preserving: alpha-renaming of bound
+//! variables, AC permutation of commutative operators, and duplication/permutation of
+//! assumptions. Conversely, it must not collapse structurally distinct sequents. The
+//! generators are deterministic (the vendored proptest shim seeds by test name and
+//! case index), so failures always reproduce.
+
+use jahob_logic::form::Const;
+use jahob_logic::{Form, Ident, Sequent, Type};
+use jahob_provers::SequentKey;
+use proptest::prelude::*;
+
+/// A small pool of free variables shared by the generators.
+fn var(i: u8) -> Form {
+    Form::var(format!("v{i}"))
+}
+
+/// Atomic formulas over the variable pool: memberships, equalities, comparisons.
+fn arb_atom() -> BoxedStrategy<Form> {
+    prop_oneof![
+        (0..4u8).prop_map(|i| Form::elem(var(i), Form::var("s"))),
+        (0..4u8, 0..4u8).prop_map(|(a, b)| Form::eq(var(a), var(b))),
+        (0..4u8).prop_map(|a| Form::cmp(Const::LtEq, var(a), Form::int(3))),
+        (0..4u8).prop_map(|i| Form::var(format!("p{i}"))),
+    ]
+    .boxed()
+}
+
+/// Set-valued terms: variables, singletons, unions and intersections.
+fn arb_set_term() -> BoxedStrategy<Form> {
+    let leaf = prop_oneof![
+        Just(Form::var("s")),
+        Just(Form::var("content")),
+        (0..4u8).prop_map(|i| Form::singleton(var(i))),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::union(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::inter(a, b)),
+        ]
+    })
+    .boxed()
+}
+
+/// Boolean formulas combining atoms, set equalities, connectives and quantifiers.
+fn arb_form() -> BoxedStrategy<Form> {
+    let base = prop_oneof![
+        arb_atom(),
+        (arb_set_term(), arb_set_term()).prop_map(|(a, b)| Form::eq(a, b)),
+    ];
+    base.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::and(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::or(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Form::implies(a, b)),
+            (inner.clone(), 0..4u8)
+                .prop_map(|(body, i)| { Form::forall(format!("q{i}"), Type::Obj, body) }),
+            (inner.clone(), 0..4u8).prop_map(|(body, i)| {
+                // Quantify over a variable that also occurs free elsewhere, so the
+                // alpha-renaming property exercises shadowing.
+                Form::exists(format!("v{i}"), Type::Obj, body)
+            }),
+        ]
+    })
+    .boxed()
+}
+
+fn arb_sequent() -> impl Strategy<Value = Sequent> {
+    (proptest::collection::vec(arb_form(), 0..4), arb_form())
+        .prop_map(|(assumptions, goal)| Sequent::new(assumptions, goal))
+}
+
+/// Renames every bound variable by appending `_zqr` plus a running index — an
+/// alpha-renaming as long as the fresh names collide with nothing the generators emit.
+fn rename_bound(form: &Form) -> Form {
+    fn go(form: &Form, env: &mut Vec<(Ident, Ident)>, counter: &mut usize) -> Form {
+        match form {
+            Form::Var(v) => {
+                for (from, to) in env.iter().rev() {
+                    if from == v {
+                        return Form::Var(to.clone());
+                    }
+                }
+                form.clone()
+            }
+            Form::Const(_) => form.clone(),
+            Form::Typed(f, t) => Form::Typed(Box::new(go(f, env, counter)), t.clone()),
+            Form::App(fun, args) => Form::App(
+                Box::new(go(fun, env, counter)),
+                args.iter().map(|a| go(a, env, counter)).collect(),
+            ),
+            Form::Binder(b, vars, body) => {
+                let depth = env.len();
+                let mut renamed = Vec::with_capacity(vars.len());
+                for (v, t) in vars {
+                    let fresh = format!("{v}_zqr{counter}");
+                    *counter += 1;
+                    env.push((v.clone(), fresh.clone()));
+                    renamed.push((fresh, t.clone()));
+                }
+                let body = go(body, env, counter);
+                env.truncate(depth);
+                Form::Binder(*b, renamed, Box::new(body))
+            }
+        }
+    }
+    go(form, &mut Vec::new(), &mut 0)
+}
+
+/// Mirrors the arguments of every commutative operator (and reverses n-ary `&`/`|`),
+/// producing an AC-permuted variant of the formula.
+fn ac_mirror(form: &Form) -> Form {
+    match form {
+        Form::Var(_) | Form::Const(_) => form.clone(),
+        Form::Typed(f, t) => Form::Typed(Box::new(ac_mirror(f)), t.clone()),
+        Form::Binder(b, vars, body) => Form::Binder(*b, vars.clone(), Box::new(ac_mirror(body))),
+        Form::App(fun, args) => {
+            let fun = ac_mirror(fun);
+            let mut args: Vec<Form> = args.iter().map(ac_mirror).collect();
+            if let Form::Const(c) = &fun {
+                let commutative = matches!(
+                    c,
+                    Const::And
+                        | Const::Or
+                        | Const::Eq
+                        | Const::Iff
+                        | Const::Union
+                        | Const::Inter
+                        | Const::Plus
+                        | Const::Times
+                );
+                if commutative {
+                    args.reverse();
+                }
+            }
+            Form::App(Box::new(fun), args)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn alpha_renamed_variants_share_a_key(s in arb_sequent()) {
+        let renamed = Sequent::new(
+            s.assumptions.iter().map(rename_bound).collect(),
+            rename_bound(&s.goal),
+        );
+        prop_assert_eq!(SequentKey::of(&s), SequentKey::of(&renamed));
+    }
+
+    #[test]
+    fn ac_permuted_variants_share_a_key(s in arb_sequent()) {
+        let mirrored = Sequent::new(
+            s.assumptions.iter().map(ac_mirror).collect(),
+            ac_mirror(&s.goal),
+        );
+        prop_assert_eq!(SequentKey::of(&s), SequentKey::of(&mirrored));
+    }
+
+    #[test]
+    fn duplicated_and_permuted_assumptions_share_a_key(
+        s in arb_sequent(),
+        dup in 0..4usize,
+    ) {
+        let mut assumptions = s.assumptions.clone();
+        if !assumptions.is_empty() {
+            assumptions.push(assumptions[dup % assumptions.len()].clone());
+        }
+        assumptions.reverse();
+        let variant = Sequent::new(assumptions, s.goal.clone());
+        prop_assert_eq!(SequentKey::of(&s), SequentKey::of(&variant));
+    }
+
+    #[test]
+    fn combined_rewrites_share_a_key(s in arb_sequent()) {
+        // All three invariances at once: duplicate an assumption, mirror the AC
+        // operators, rename the binders, and permute the assumption list.
+        let mut assumptions: Vec<Form> = s.assumptions.iter().map(|a| ac_mirror(&rename_bound(a))).collect();
+        if let Some(first) = assumptions.first().cloned() {
+            assumptions.push(first);
+        }
+        assumptions.reverse();
+        let variant = Sequent::new(assumptions, rename_bound(&ac_mirror(&s.goal)));
+        prop_assert_eq!(SequentKey::of(&s), SequentKey::of(&variant));
+    }
+
+    #[test]
+    fn distinct_membership_goals_do_not_collide(
+        assumptions in proptest::collection::vec(arb_form(), 0..3),
+        i in 0..4u8,
+        j in 0..4u8,
+    ) {
+        // `vi : s` and `vj : s` are structurally distinct non-trivial goals whenever
+        // i != j; their keys must differ no matter the shared assumptions.
+        if i != j {
+            let a = Sequent::new(assumptions.clone(), Form::elem(var(i), Form::var("s")));
+            let b = Sequent::new(assumptions, Form::elem(var(j), Form::var("s")));
+            prop_assert_ne!(SequentKey::of(&a), SequentKey::of(&b));
+        }
+    }
+
+    #[test]
+    fn extra_nontrivial_assumptions_change_the_key(
+        s in arb_sequent(),
+        i in 0..4u8,
+    ) {
+        // Adding an assumption that is not already present (modulo canonicalisation)
+        // must change the key: the provers see a genuinely different sequent.
+        let extra = Form::elem(var(i), Form::var("fresh_set"));
+        let mut assumptions = s.assumptions.clone();
+        assumptions.push(extra);
+        let grown = Sequent::new(assumptions, s.goal.clone());
+        prop_assert_ne!(SequentKey::of(&s), SequentKey::of(&grown));
+    }
+}

@@ -1,12 +1,23 @@
 //! Runs the whole data structure suite of §7 and prints the Figure 15-style table
-//! (sequents proved per prover, per data structure, with verification times).
+//! (sequents proved per prover, per data structure, with verification times and the
+//! result-cache hit rate).
 //!
 //! Run with `cargo run --release --example verify_suite`.
+//!
+//! The dispatcher knobs are read from the environment (see
+//! `DispatcherConfig::with_env_overrides`): `JAHOB_THREADS=4 JAHOB_CACHE=on` runs the
+//! work-stealing parallel path with the canonical-form result cache, `JAHOB_CACHE=off`
+//! measures the uncached baseline, and `JAHOB_GRANULARITY=n` batches queue claims.
 
 use jahob_repro::jahob::{render_figure15, run_suite, VerifyOptions};
 
 fn main() {
-    let rows = run_suite(&VerifyOptions::default());
+    let options = VerifyOptions::default();
+    println!(
+        "dispatcher: threads={} cache={} granularity={}",
+        options.dispatcher.threads, options.dispatcher.cache, options.dispatcher.granularity
+    );
+    let rows = run_suite(&options);
     println!("{}", render_figure15(&rows));
     let total: usize = rows.iter().map(|r| r.total_sequents).sum();
     let proved: usize = rows.iter().map(|r| r.proved_sequents).sum();

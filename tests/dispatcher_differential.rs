@@ -1,0 +1,105 @@
+//! Differential test for the dispatcher's scaling mechanisms.
+//!
+//! The work-stealing parallel dispatch and the canonical-form result cache are pure
+//! optimisations: they must not change *what* gets proved, only how fast. This harness
+//! runs the full §7 example suite under every combination of
+//! `{threads = 1, 2, 4, 8} x {cache on, off}` (plus a coarser work-queue granularity)
+//! and asserts that every configuration proves the identical set of sequents per
+//! method, and reports the `unproved` descriptions in the identical, deterministic
+//! order. Any future scaling PR that breaks either property fails here.
+
+use jahob_repro::jahob::{self, suite, VerifyOptions};
+
+/// The observable verdict of one method: counts plus the unproved descriptions in
+/// report order (NOT sorted — the dispatcher merges per-obligation results by
+/// obligation index, so the order itself must be deterministic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct MethodVerdict {
+    method: String,
+    proved: usize,
+    total: usize,
+    unproved: Vec<String>,
+}
+
+fn options(threads: usize, cache: bool, granularity: usize) -> VerifyOptions {
+    VerifyOptions {
+        dispatcher: jahob::DispatcherConfig::pinned(threads, cache, granularity),
+        ..VerifyOptions::default()
+    }
+}
+
+/// Runs the whole suite and collects one verdict per method, in suite order.
+fn run_full_suite(options: &VerifyOptions) -> Vec<MethodVerdict> {
+    let mut verdicts = Vec::new();
+    for entry in suite::full_suite() {
+        for result in jahob::verify_program(&entry.program, options) {
+            verdicts.push(MethodVerdict {
+                method: format!("{}::{}", entry.name, result.method),
+                proved: result.report.proved_sequents,
+                total: result.report.total_sequents,
+                unproved: result.report.unproved.clone(),
+            });
+        }
+    }
+    verdicts
+}
+
+#[test]
+fn all_thread_and_cache_configurations_prove_the_same_sequents() {
+    let baseline = run_full_suite(&options(1, false, 1));
+    assert!(
+        baseline.iter().map(|v| v.total).sum::<usize>() > 0,
+        "suite produced no obligations"
+    );
+    for threads in [1usize, 2, 4, 8] {
+        for cache in [false, true] {
+            if threads == 1 && !cache {
+                continue;
+            }
+            let run = run_full_suite(&options(threads, cache, 1));
+            assert_eq!(
+                baseline, run,
+                "threads={threads} cache={cache} diverged from the sequential uncached baseline"
+            );
+        }
+    }
+    // A coarser work-queue granularity only changes how obligations are batched onto
+    // workers, never the verdicts or their order.
+    let coarse = run_full_suite(&options(4, true, 3));
+    assert_eq!(baseline, coarse, "granularity=3 diverged from the baseline");
+}
+
+#[test]
+fn parallel_unproved_ordering_is_deterministic_across_repeated_runs() {
+    // Thread interleavings differ between runs; the index-ordered merge must hide that.
+    let first = run_full_suite(&options(8, false, 1));
+    for _ in 0..2 {
+        assert_eq!(first, run_full_suite(&options(8, false, 1)));
+    }
+}
+
+#[test]
+fn suite_cache_hit_rate_is_positive() {
+    // Class invariants are re-proved per path, so running the Figure 15 suite with a
+    // shared cache must answer a measurable share of obligations from the cache.
+    let rows = jahob::run_suite(&options(1, true, 1));
+    let hits: usize = rows.iter().map(|r| r.cache_hits).sum();
+    let misses: usize = rows.iter().map(|r| r.cache_misses).sum();
+    assert!(hits > 0, "expected cache hits on the Figure 15 suite");
+    assert_eq!(
+        hits + misses,
+        rows.iter().map(|r| r.total_sequents).sum::<usize>(),
+        "every obligation is either a hit or a miss when caching is on"
+    );
+    // Cached and uncached suite runs prove the same number of sequents per structure.
+    let uncached = jahob::run_suite(&options(1, false, 1));
+    let proved: Vec<(String, usize, usize)> = rows
+        .iter()
+        .map(|r| (r.name.clone(), r.proved_sequents, r.total_sequents))
+        .collect();
+    let proved_uncached: Vec<(String, usize, usize)> = uncached
+        .iter()
+        .map(|r| (r.name.clone(), r.proved_sequents, r.total_sequents))
+        .collect();
+    assert_eq!(proved, proved_uncached);
+}

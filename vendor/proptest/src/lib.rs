@@ -8,8 +8,11 @@
 //! `prop_assert*` macros.
 //!
 //! Differences from real proptest:
-//! - no shrinking: a failing case reports its deterministic case index instead of a
-//!   minimised counterexample;
+//! - only minimal shrinking: integers halve toward the range start (and decrement),
+//!   booleans shrink to `false`, vectors drop or shrink elements, and tuples shrink
+//!   component-wise. Values produced through `prop_map`/`prop_flat_map`/`prop_oneof!`
+//!   do not shrink (the shim keeps no reverse mapping), so a failing case there
+//!   reports the originally generated value;
 //! - generation is fully deterministic (splitmix64 keyed by test case index), so CI
 //!   failures always reproduce locally.
 
@@ -102,14 +105,22 @@ impl Default for ProptestConfig {
 
 /// A generator of values of type `Self::Value`.
 ///
-/// Unlike real proptest there is no shrinking: a strategy is just a deterministic
-/// function from an RNG state to a value.
+/// A strategy is a deterministic function from an RNG state to a value, plus an
+/// optional [`Strategy::shrink`] step used to minimise failing cases.
 pub trait Strategy {
     /// The type of generated values.
     type Value;
 
     /// Generates one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes strictly "smaller" candidate values derived from a failing `value`,
+    /// most aggressive first. The default is no candidates (no shrinking); combinator
+    /// strategies without a reverse mapping (`prop_map` and friends) keep the default.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -165,11 +176,15 @@ pub trait Strategy {
 /// Object-safe view of [`Strategy`] backing [`BoxedStrategy`].
 trait DynStrategy<V> {
     fn generate_dyn(&self, rng: &mut TestRng) -> V;
+    fn shrink_dyn(&self, value: &V) -> Vec<V>;
 }
 
 impl<S: Strategy> DynStrategy<S::Value> for S {
     fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
         self.generate(rng)
+    }
+    fn shrink_dyn(&self, value: &S::Value) -> Vec<S::Value> {
+        self.shrink(value)
     }
 }
 
@@ -192,6 +207,9 @@ impl<V> Strategy for BoxedStrategy<V> {
     type Value = V;
     fn generate(&self, rng: &mut TestRng) -> V {
         self.0.generate_dyn(rng)
+    }
+    fn shrink(&self, value: &V) -> Vec<V> {
+        self.0.shrink_dyn(value)
     }
 }
 
@@ -309,6 +327,25 @@ impl<V> Strategy for Union<V> {
     }
 }
 
+/// Shrink candidates of an integer within `[start, value]`: the range start (most
+/// aggressive), the midpoint between start and the value, and the predecessor. The
+/// greedy shrink loop in [`proptest!`] combines halving (to cross large distances in
+/// logarithmically many steps) with the decrement (to reach the exact boundary).
+fn shrink_int(start: i128, value: i128) -> Vec<i128> {
+    if value == start {
+        return Vec::new();
+    }
+    let mut out = vec![start];
+    let mid = start + (value - start) / 2;
+    if mid != start && mid != value {
+        out.push(mid);
+    }
+    if value - 1 != start && value - 1 != mid {
+        out.push(value - 1);
+    }
+    out
+}
+
 macro_rules! int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
@@ -318,6 +355,12 @@ macro_rules! int_range_strategy {
                 let width = (self.end as i128).wrapping_sub(self.start as i128) as u128;
                 let off = rng.below_u128(width);
                 ((self.start as i128).wrapping_add(off as i128)) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
             }
         }
         impl Strategy for RangeInclusive<$t> {
@@ -330,6 +373,12 @@ macro_rules! int_range_strategy {
                 let off = rng.below_u128(width);
                 ((*self.start() as i128).wrapping_add(off as i128)) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
     )*};
 }
@@ -338,6 +387,24 @@ int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 // i128 ranges need their own width computation (the macro above funnels through i128
 // subtraction, which would overflow for full-width i128 bounds).
+/// [`shrink_int`] for full-width `i128` bounds, where the distance to the range start
+/// only fits in `u128`.
+fn shrink_i128(start: i128, value: i128) -> Vec<i128> {
+    if value == start {
+        return Vec::new();
+    }
+    let mut out = vec![start];
+    let mid = start.wrapping_add((value.wrapping_sub(start) as u128 / 2) as i128);
+    if mid != start && mid != value {
+        out.push(mid);
+    }
+    let dec = value - 1;
+    if dec != start && dec != mid {
+        out.push(dec);
+    }
+    out
+}
+
 impl Strategy for Range<i128> {
     type Value = i128;
     fn generate(&self, rng: &mut TestRng) -> i128 {
@@ -345,6 +412,9 @@ impl Strategy for Range<i128> {
         let width = self.end.wrapping_sub(self.start) as u128;
         let off = rng.below_u128(width);
         self.start.wrapping_add(off as i128)
+    }
+    fn shrink(&self, value: &i128) -> Vec<i128> {
+        shrink_i128(self.start, *value)
     }
 }
 
@@ -356,28 +426,44 @@ impl Strategy for RangeInclusive<i128> {
         let off = rng.below_u128(width);
         self.start().wrapping_add(off as i128)
     }
+    fn shrink(&self, value: &i128) -> Vec<i128> {
+        shrink_i128(*self.start(), *value)
+    }
 }
 
 macro_rules! tuple_strategy {
-    ($(($($n:ident),+))*) => {$(
-        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+    ($(($($n:ident : $idx:tt),+))*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+)
+        where
+            $($n::Value: Clone),+
+        {
             type Value = ($($n::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                #[allow(non_snake_case)]
-                let ($($n,)+) = self;
-                ($($n.generate(rng),)+)
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Component-wise: each candidate shrinks exactly one position.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};
 }
 
 tuple_strategy! {
-    (A)
-    (A, B)
-    (A, B, C)
-    (A, B, C, D)
-    (A, B, C, D, E)
-    (A, B, C, D, E, F)
+    (A:0)
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+    (A:0, B:1, C:2, D:3, E:4)
+    (A:0, B:1, C:2, D:3, E:4, F:5)
 }
 
 /// Boolean strategies (`prop::bool::ANY`).
@@ -395,6 +481,13 @@ pub mod bool {
         type Value = bool;
         fn generate(&self, rng: &mut TestRng) -> bool {
             rng.next_u64() & 1 == 0
+        }
+        fn shrink(&self, value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 }
@@ -455,12 +548,35 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.hi_inclusive - self.size.lo + 1) as u64;
             let len = self.size.lo + rng.below(span) as usize;
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // First try removing each element (while the length stays admissible)...
+            if value.len() > self.size.lo {
+                for i in 0..value.len() {
+                    let mut shorter = value.clone();
+                    shorter.remove(i);
+                    out.push(shorter);
+                }
+            }
+            // ...then shrinking each element in place.
+            for (i, v) in value.iter().enumerate() {
+                for cand in self.element.shrink(v) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -477,6 +593,55 @@ pub mod prelude {
         prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
         ProptestConfig, Strategy, TestCaseError, TestCaseResult,
     };
+}
+
+/// Drives one property test: runs `body` over `config.cases` deterministically
+/// generated inputs and, on failure, greedily shrinks the failing input through
+/// [`Strategy::shrink`] before panicking with the minimal counterexample.
+///
+/// This is the engine behind the [`proptest!`] macro (it has no counterpart in the
+/// real proptest API; the macro calls it so the closure's parameter type is pinned by
+/// this signature).
+pub fn run_property<S, F>(name: &str, config: ProptestConfig, strategies: &S, body: F)
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    // Key the RNG stream by the test name so sibling tests see distinct inputs.
+    let mut test_key: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        test_key ^= b as u64;
+        test_key = test_key.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for case in 0..config.cases {
+        let mut rng = TestRng::for_case(test_key, case as u64);
+        let values = strategies.generate(&mut rng);
+        if let Err(e) = body(values.clone()) {
+            // Greedy shrink: repeatedly move to the first still-failing candidate,
+            // within a bounded budget of body re-runs.
+            let mut best = values;
+            let mut best_err = e;
+            let mut budget: u32 = 256;
+            'shrinking: while budget > 0 {
+                for cand in strategies.shrink(&best) {
+                    if budget == 0 {
+                        break 'shrinking;
+                    }
+                    budget -= 1;
+                    if let Err(e2) = body(cand.clone()) {
+                        best = cand;
+                        best_err = e2;
+                        continue 'shrinking;
+                    }
+                }
+                break;
+            }
+            panic!(
+                "proptest case #{case} of {name} failed: {best_err}\nminimal failing input (after shrinking): {best:?}\n(deterministic shim: rerun reproduces the same inputs)"
+            );
+        }
+    }
 }
 
 /// Picks uniformly between the listed strategies (all must yield the same type).
@@ -533,6 +698,11 @@ macro_rules! prop_assert_ne {
 /// Defines property tests: each `fn name(pat in strategy, ...) { body }` item expands to
 /// a zero-argument function running the body over deterministically generated inputs.
 ///
+/// On failure, the inputs are greedily shrunk through [`Strategy::shrink`] (halving
+/// integers, removing vector elements, component by component for tuples) and the
+/// smallest still-failing counterexample is reported. Generated values must therefore
+/// be `Clone + Debug` — true for every strategy this shim ships.
+///
 /// As with real proptest, write `#[test]` explicitly on every item — the macro re-emits
 /// the attributes you wrote but does not add `#[test]` itself.
 #[macro_export]
@@ -548,30 +718,11 @@ macro_rules! proptest {
         fn $name() {
             let config: $crate::ProptestConfig = $config;
             let strategies = ($($strategy,)+);
-            // Key the RNG stream by the test name so sibling tests see distinct inputs.
-            let test_key: u64 = {
-                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-                for b in stringify!($name).bytes() {
-                    h ^= b as u64;
-                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
-                }
-                h
-            };
-            for case in 0..config.cases {
-                let mut rng = $crate::TestRng::for_case(test_key, case as u64);
-                let ($($pat,)+) = $crate::Strategy::generate(&strategies, &mut rng);
-                let outcome: $crate::TestCaseResult = (|| {
-                    { $body }
-                    ::std::result::Result::Ok(())
-                })();
-                if let ::std::result::Result::Err(e) = outcome {
-                    panic!(
-                        "proptest case #{case} of {} failed: {}\n(deterministic shim: rerun reproduces the same inputs)",
-                        stringify!($name),
-                        e
-                    );
-                }
-            }
+            $crate::run_property(stringify!($name), config, &strategies, |values| {
+                let ($($pat,)+) = values;
+                { $body }
+                ::std::result::Result::Ok(())
+            });
         }
         $crate::proptest!(@tests { $config } $($rest)*);
     };
@@ -584,4 +735,61 @@ macro_rules! proptest {
     ($($rest:tt)*) => {
         $crate::proptest!(@tests { $crate::ProptestConfig::default() } $($rest)*);
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_shrink_halves_toward_the_range_start() {
+        let candidates = (0u32..1000).shrink(&800);
+        assert_eq!(candidates, vec![0, 400, 799]);
+        assert!((0u32..1000).shrink(&0).is_empty());
+        assert_eq!((5i64..=10).shrink(&6), vec![5]);
+        assert_eq!((-8i32..8).shrink(&-6), vec![-8, -7]);
+    }
+
+    #[test]
+    fn vector_shrink_removes_and_shrinks_elements() {
+        let strategy = collection::vec(0u8..10, 1..=3);
+        let candidates = strategy.shrink(&vec![4, 9]);
+        // Two removals first, then element-wise integer shrinks.
+        assert!(candidates.contains(&vec![9]));
+        assert!(candidates.contains(&vec![4]));
+        assert!(candidates.contains(&vec![0, 9]));
+        assert!(candidates.contains(&vec![4, 0]));
+        // The minimum length is respected.
+        assert!(strategy.shrink(&vec![7]).iter().all(|v| !v.is_empty()));
+    }
+
+    #[test]
+    fn boolean_and_tuple_shrinking_compose() {
+        let strategy = (bool::ANY, 0u8..100);
+        let candidates = strategy.shrink(&(true, 10));
+        assert!(candidates.contains(&(false, 10)));
+        assert!(candidates.contains(&(true, 0)));
+    }
+
+    // A deliberately failing property (any x >= 17 fails): used below to check that
+    // the macro reports the shrunk boundary value, not the originally generated one.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        fn shrinks_to_the_boundary(x in 0u32..100_000) {
+            prop_assert!(x < 17, "x = {x} is too big");
+        }
+    }
+
+    #[test]
+    fn failing_cases_report_a_minimal_counterexample() {
+        let panic =
+            std::panic::catch_unwind(shrinks_to_the_boundary).expect_err("the property must fail");
+        let message = panic
+            .downcast_ref::<String>()
+            .expect("panic carries a formatted message");
+        assert!(
+            message.contains("minimal failing input (after shrinking): (17,)"),
+            "unexpected report: {message}"
+        );
+    }
 }
