@@ -4,7 +4,7 @@
 //! work-stealing parallel dispatch and the canonical-form result cache (§5.2, §5.3).
 use criterion::{criterion_group, criterion_main, Criterion};
 use jahob::{run_suite, suite, verify_task, VerifyOptions};
-use jahob_provers::{Dispatcher, ProverContext, ProverId};
+use jahob_provers::{Dispatcher, LemmaLibrary, ObligationBatch, ProverId};
 use std::time::Duration;
 
 /// Options with the given thread count and cache switch (ignoring env overrides, so the
@@ -66,15 +66,12 @@ fn ablations(c: &mut Criterion) {
     // so a contiguous-chunk split would strand whole chunks behind the expensive
     // copies while the shared queue keeps every worker busy — and with the cache on,
     // every copy after the first is answered without running a prover.
-    let context = ProverContext {
-        set_vars: tasks[0].set_vars(),
-        fun_vars: tasks[0].fun_vars(),
-        ..ProverContext::default()
-    };
-    let batch: Vec<_> = std::iter::repeat_with(|| tasks.iter().flat_map(|t| t.obligations()))
+    let context = tasks[0].prover_context(&LemmaLibrary::new());
+    let obligations: Vec<_> = std::iter::repeat_with(|| tasks.iter().flat_map(|t| t.obligations()))
         .take(8)
         .flatten()
         .collect();
+    let batch = ObligationBatch::uniform(&obligations, &context);
     for (name, threads, cache) in [
         ("ablation/batch_seq_nocache", 1, false),
         ("ablation/batch_4threads_nocache", 4, false),
@@ -84,7 +81,7 @@ fn ablations(c: &mut Criterion) {
         c.bench_function(name, |b| {
             b.iter(|| {
                 let dispatcher = Dispatcher::with_config(options(threads, cache).dispatcher);
-                dispatcher.prove_all(&batch, &context)
+                dispatcher.prove_all(&batch)
             })
         });
     }

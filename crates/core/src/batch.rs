@@ -1,0 +1,178 @@
+//! Batch assembly and result folding: the layer between the frontend's per-method
+//! tasks and the dispatcher's program-wide obligation pool.
+//!
+//! The paper's integrated reasoner treats a verification run's proof obligations as one
+//! pool to split and dispatch (§3.5, §6) while reporting results per method (Figures 7
+//! and 15). This module realises that separation between *dispatch* and *attribution*:
+//! [`assemble_program_batch`] flattens every method of a program into one tagged
+//! [`ObligationBatch`] (each obligation carrying its provenance and its method's
+//! [`ProverContext`](jahob_provers::ProverContext)), and [`fold_method_results`] folds
+//! the tagged per-obligation reports back into the per-method
+//! [`MethodResult`](crate::MethodResult) shape — in batch order, so the per-method
+//! `unproved` ordering is identical to a per-method dispatch.
+
+use crate::MethodResult;
+use jahob_frontend::{program_tasks, Program};
+use jahob_provers::{BatchReport, LemmaLibrary, ObligationBatch, VerificationReport};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One method of an assembled batch: its qualified name and how many obligations it
+/// contributed. The counts are what let [`fold_method_results`] align results with
+/// methods positionally — by name alone, same-named methods (Java-style overloads,
+/// which the frontend does not reject) or methods with zero obligations would be
+/// ambiguous.
+pub type MethodPlan = (String, usize);
+
+/// Assembles the program-wide obligation batch of `program`: one tagged entry per
+/// obligation of every method, tagged `(structure, Class.method, index)` and carrying
+/// the method's prover context. Returns the batch together with the per-method plan in
+/// program order, so methods that produce no obligations still get an (empty,
+/// trivially verified) result when folding.
+pub fn assemble_program_batch(
+    structure: &str,
+    program: &Program,
+    lemmas: &LemmaLibrary,
+) -> (ObligationBatch, Vec<MethodPlan>) {
+    let mut batch = ObligationBatch::new();
+    let mut methods = Vec::new();
+    for task in program_tasks(program) {
+        let method = task.qualified_name();
+        let context = Arc::new(task.prover_context(lemmas));
+        let obligations = task.obligations();
+        methods.push((method.clone(), obligations.len()));
+        batch.push_method(structure, &method, context, obligations);
+    }
+    (batch, methods)
+}
+
+/// Folds the tagged per-obligation reports of one structure back into per-method
+/// results, one per entry of `methods` (in that order). Per-obligation reports merge
+/// in batch order, so each method's report — counts, per-prover attribution and the
+/// `unproved` ordering — is identical to what a dedicated per-method `prove_all` call
+/// produces; a method's `total_time` is the sum of its obligations' wall times.
+///
+/// Alignment is positional, driven by the plan's obligation counts: the k-th
+/// obligation-contributing method of the plan takes the k-th contiguous run of entries
+/// (assembly emits each method's obligations contiguously), so same-named methods and
+/// zero-obligation methods both fold correctly.
+pub fn fold_method_results(
+    report: &BatchReport,
+    structure: &str,
+    methods: &[MethodPlan],
+) -> Vec<MethodResult> {
+    let mut remaining: VecDeque<&jahob_provers::TaggedReport> = report
+        .per_obligation
+        .iter()
+        .filter(|t| t.tag.structure == structure)
+        .collect();
+    methods
+        .iter()
+        .map(|(method, count)| {
+            let mut merged = VerificationReport::default();
+            for _ in 0..*count {
+                let tagged = remaining
+                    .pop_front()
+                    .expect("batch report shorter than the method plan it was proved from");
+                debug_assert_eq!(
+                    &tagged.tag.method, method,
+                    "method plan out of step with batch order"
+                );
+                merged.merge(&tagged.report);
+            }
+            MethodResult {
+                method: method.clone(),
+                report: merged,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn assembly_tags_every_obligation_with_its_method() {
+        let program = suite::sized_list();
+        let (batch, methods) = assemble_program_batch("Sized List", &program, &LemmaLibrary::new());
+        let names: Vec<&str> = methods.iter().map(|(m, _)| m.as_str()).collect();
+        assert_eq!(names, vec!["List.addNew", "List.isEmpty"]);
+        assert_eq!(
+            methods.iter().map(|(_, n)| n).sum::<usize>(),
+            batch.len(),
+            "plan counts add up to the batch size"
+        );
+        assert!(batch.len() >= 5, "expected several obligations");
+        let mut seen = BTreeMap::new();
+        for entry in batch.entries() {
+            assert_eq!(entry.tag.structure, "Sized List");
+            let next = seen.entry(entry.tag.method.clone()).or_insert(0usize);
+            assert_eq!(entry.tag.index, *next, "indices are dense per method");
+            *next += 1;
+        }
+        assert_eq!(seen.len(), methods.len());
+    }
+
+    #[test]
+    fn folding_separates_same_named_method_occurrences() {
+        use jahob_provers::{ObligationTag, TaggedReport};
+        // Three methods sharing the qualified name "List.add" (overloads), the middle
+        // one with zero obligations: the plan's counts align results positionally, so
+        // each overload keeps its own report instead of the first absorbing all of
+        // them and the others reporting trivially verified.
+        let one = |method: &str, index: usize, proved: usize| TaggedReport {
+            tag: ObligationTag {
+                structure: String::new(),
+                method: method.to_string(),
+                index,
+            },
+            report: VerificationReport {
+                total_sequents: 1,
+                proved_sequents: proved,
+                unproved: if proved == 0 {
+                    vec![format!("{method}#{index}")]
+                } else {
+                    Vec::new()
+                },
+                ..VerificationReport::default()
+            },
+        };
+        let report = BatchReport {
+            per_obligation: vec![
+                one("List.add", 0, 1),
+                one("List.add", 1, 1),
+                one("List.add", 0, 0),
+            ],
+            ..BatchReport::default()
+        };
+        let methods = vec![
+            ("List.add".to_string(), 2),
+            ("List.add".to_string(), 0),
+            ("List.add".to_string(), 1),
+        ];
+        let results = fold_method_results(&report, "", &methods);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].report.total_sequents, 2);
+        assert!(results[0].verified());
+        assert_eq!(results[1].report.total_sequents, 0);
+        assert!(results[1].verified());
+        assert_eq!(results[2].report.total_sequents, 1);
+        assert!(!results[2].verified());
+        assert_eq!(results[2].report.unproved, vec!["List.add#0".to_string()]);
+    }
+
+    #[test]
+    fn folding_keeps_methods_without_obligations() {
+        let report = BatchReport::default();
+        let methods = vec![("A.empty".to_string(), 0)];
+        let results = fold_method_results(&report, "", &methods);
+        assert_eq!(results.len(), 1);
+        assert!(
+            results[0].verified(),
+            "an empty report is trivially verified"
+        );
+    }
+}

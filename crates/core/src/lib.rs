@@ -21,14 +21,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod suite;
 
-use jahob_frontend::{program_tasks, MethodTask, Program};
-use jahob_provers::{Dispatcher, LemmaLibrary, ProverContext, ProverId, VerificationReport};
+use batch::{assemble_program_batch, fold_method_results};
+use jahob_frontend::{MethodTask, Program};
+use jahob_provers::{Dispatcher, LemmaLibrary, ProverId, VerificationReport};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Duration;
 
-pub use jahob_provers::{CacheStats, DispatcherConfig, ProverStats, SequentCache};
+pub use jahob_provers::{
+    BatchEntry, BatchReport, CacheStats, DispatcherConfig, ObligationBatch, ObligationTag,
+    ProverStats, SequentCache, TaggedReport,
+};
 
 /// Options for a verification run.
 #[derive(Debug, Clone, Default)]
@@ -71,26 +77,31 @@ pub fn verify_task(task: &MethodTask, options: &VerifyOptions) -> MethodResult {
     )
 }
 
-/// Verifies one method task with an existing dispatcher. Because cloned dispatchers
-/// share their result cache, calling this with the same dispatcher for every method of
-/// a program lets obligations proved once (class invariants re-established on every
-/// path) be answered from the cache for all later methods.
+/// Verifies one method task with an existing dispatcher: a single-method batch through
+/// the same assemble → prove → fold pipeline as [`verify_program_with`] — this is the
+/// per-method dispatch path the batched differential test compares against. Because
+/// cloned dispatchers share their result cache, calling this with the same dispatcher
+/// for every method of a program lets obligations proved once (class invariants
+/// re-established on every path) be answered from the cache for all later methods.
 pub fn verify_task_with(
     dispatcher: &Dispatcher,
     task: &MethodTask,
     lemmas: &LemmaLibrary,
 ) -> MethodResult {
-    let context = ProverContext {
-        set_vars: task.set_vars(),
-        fun_vars: task.fun_vars(),
-        lemmas: lemmas.clone(),
-    };
+    let method = task.qualified_name();
     let obligations = task.obligations();
-    let report = dispatcher.prove_all(&obligations, &context);
-    MethodResult {
-        method: task.qualified_name(),
-        report,
-    }
+    let plan = (method.clone(), obligations.len());
+    let mut batch = ObligationBatch::new();
+    batch.push_method(
+        "",
+        &method,
+        Arc::new(task.prover_context(lemmas)),
+        obligations,
+    );
+    let report = dispatcher.prove_all(&batch);
+    fold_method_results(&report, "", std::slice::from_ref(&plan))
+        .pop()
+        .expect("one method in, one result out")
 }
 
 /// Verifies every method of a program. One dispatcher — and therefore one result
@@ -103,16 +114,19 @@ pub fn verify_program(program: &Program, options: &VerifyOptions) -> Vec<MethodR
     )
 }
 
-/// Verifies every method of a program with an existing dispatcher (sharing its cache).
+/// Verifies every method of a program with an existing dispatcher (sharing its cache):
+/// assembles **one** program-wide tagged batch, proves it with a single
+/// [`Dispatcher::prove_all`] call — so the work-stealing queue sees the whole
+/// obligation pool at once — and folds the tagged per-obligation reports back into
+/// per-method results.
 pub fn verify_program_with(
     dispatcher: &Dispatcher,
     program: &Program,
     lemmas: &LemmaLibrary,
 ) -> Vec<MethodResult> {
-    program_tasks(program)
-        .iter()
-        .map(|t| verify_task_with(dispatcher, t, lemmas))
-        .collect()
+    let (batch, methods) = assemble_program_batch("", program, lemmas);
+    let report = dispatcher.prove_all(&batch);
+    fold_method_results(&report, "", &methods)
 }
 
 /// One row of the Figure 15 table: per-prover sequent counts and times for a whole data
@@ -166,16 +180,34 @@ impl SuiteRow {
 }
 
 /// Runs the whole suite of §7 and returns one row per data structure (Figure 15).
-/// A single dispatcher — and so a single result cache — is shared across the whole
-/// suite: invariant obligations recurring across structures and methods are proved
-/// once and answered from the cache thereafter.
+/// The entire suite is assembled into **one** tagged batch and proved with a single
+/// [`Dispatcher::prove_all`] call, so the work-stealing queue balances the full,
+/// skewed obligation pool of all structures at once while the tags keep per-structure
+/// (and per-method) attribution intact. The shared result cache answers invariant
+/// obligations recurring across structures and methods after their first proof.
 pub fn run_suite(options: &VerifyOptions) -> Vec<SuiteRow> {
-    let dispatcher = Dispatcher::with_config(options.dispatcher.clone());
-    suite::full_suite()
+    run_suite_with(
+        &Dispatcher::with_config(options.dispatcher.clone()),
+        &options.lemmas,
+    )
+}
+
+/// Runs the whole suite through an existing dispatcher (one batch, one `prove_all`).
+pub fn run_suite_with(dispatcher: &Dispatcher, lemmas: &LemmaLibrary) -> Vec<SuiteRow> {
+    let entries = suite::full_suite();
+    let mut batch = ObligationBatch::new();
+    let mut structures: Vec<(&str, Vec<batch::MethodPlan>)> = Vec::new();
+    for entry in &entries {
+        let (program_batch, methods) = assemble_program_batch(entry.name, &entry.program, lemmas);
+        batch.append(program_batch);
+        structures.push((entry.name, methods));
+    }
+    let report = dispatcher.prove_all(&batch);
+    structures
         .iter()
-        .map(|entry| {
-            let results = verify_program_with(&dispatcher, &entry.program, &options.lemmas);
-            SuiteRow::from_results(entry.name, &results)
+        .map(|(name, methods)| {
+            let results = fold_method_results(&report, name, methods);
+            SuiteRow::from_results(name, &results)
         })
         .collect()
 }
@@ -195,7 +227,10 @@ pub fn render_figure15(rows: &[SuiteRow]) -> String {
     for p in provers {
         out.push_str(&format!("{:>16}", p.display_name()));
     }
-    out.push_str(&format!("{:>10}{:>10}{:>12}\n", "Proved", "Total", "Time"));
+    out.push_str(&format!(
+        "{:>10}{:>10}{:>12}{:>10}\n",
+        "Proved", "Total", "Time", "Hit rate"
+    ));
     for row in rows {
         out.push_str(&format!("{:<24}", row.name));
         for p in provers {
@@ -206,11 +241,18 @@ pub fn render_figure15(rows: &[SuiteRow]) -> String {
                 _ => out.push_str(&format!("{:>16}", "")),
             }
         }
+        let lookups = row.cache_hits + row.cache_misses;
+        let hit_rate = if lookups > 0 {
+            format!("{:.1}%", 100.0 * row.cache_hits as f64 / lookups as f64)
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "{:>10}{:>10}{:>11.1}s\n",
+            "{:>10}{:>10}{:>11.1}s{:>10}\n",
             row.proved_sequents,
             row.total_sequents,
-            row.total_time.as_secs_f64()
+            row.total_time.as_secs_f64(),
+            hit_rate
         ));
     }
     let hits: usize = rows.iter().map(|r| r.cache_hits).sum();
@@ -277,6 +319,35 @@ mod tests {
                 .collect::<Vec<_>>()
                 .join("\n")
         );
+    }
+
+    #[test]
+    fn verify_program_dispatches_exactly_one_batch() {
+        let dispatcher = Dispatcher::with_config(DispatcherConfig::pinned(1, true, 1));
+        let program = suite::sized_list();
+        let results = verify_program_with(&dispatcher, &program, &LemmaLibrary::new());
+        assert_eq!(
+            dispatcher.batches_dispatched(),
+            1,
+            "verify_program must issue exactly one prove_all call per program"
+        );
+        assert!(results.iter().any(|r| r.method == "List.addNew"));
+    }
+
+    #[test]
+    fn run_suite_dispatches_exactly_one_batch() {
+        let dispatcher = Dispatcher::with_config(DispatcherConfig::pinned(1, true, 1));
+        let rows = run_suite_with(&dispatcher, &LemmaLibrary::new());
+        assert_eq!(
+            dispatcher.batches_dispatched(),
+            1,
+            "run_suite must issue exactly one prove_all call per suite"
+        );
+        assert_eq!(rows.len(), suite::full_suite().len());
+        // Per-structure cache hit rates appear as a table column when caching is on.
+        let table = render_figure15(&rows);
+        assert!(table.contains("Hit rate"));
+        assert!(table.contains('%'));
     }
 
     #[test]

@@ -745,13 +745,37 @@ impl Parser {
         let form = self.formula()?;
         let mut hints = Vec::new();
         if self.eat_keyword("by") {
-            hints.push(self.expect_ident()?);
+            hints.push(self.hint()?);
             while self.eat_sym(",") {
-                hints.push(self.expect_ident()?);
+                hints.push(self.hint()?);
             }
         }
         let _ = self.eat_sym(";");
         Ok((label, form, hints))
+    }
+
+    /// One `by` hint: an assumption label, or `lemma Name` naming an interactively
+    /// proven lemma from the library (recorded with the `lemma:` prefix of
+    /// [`jahob_vcgen::LEMMA_HINT_PREFIX`], which the dispatcher resolves and injects
+    /// as an extra assumption of the hinted sequent).
+    ///
+    /// `lemma` acts as a keyword only when the following token could actually be a
+    /// lemma name: an identifier that does not itself start a new spec statement
+    /// (hint terminators are optional, so after `by lemma` an `assert`/`assume`/
+    /// `note`/`havoc` keyword or a ghost assignment target must belong to the *next*
+    /// statement). An assumption label literally named `lemma` therefore keeps its
+    /// pre-existing meaning in every form that parsed before the `by lemma` syntax.
+    fn hint(&mut self) -> Result<String, SourceError> {
+        if let (Some(Token::Ident(kw)), Some(Token::Ident(next))) = (self.peek(), self.peek_at(1)) {
+            let starts_statement = matches!(next.as_str(), "assert" | "assume" | "note" | "havoc")
+                || matches!(self.peek_at(2), Some(Token::Sym(s)) if *s == ":=" || *s == ".");
+            if kw == "lemma" && !starts_statement {
+                self.bump();
+                let name = self.expect_ident()?;
+                return Ok(format!("{}{name}", jahob_vcgen::LEMMA_HINT_PREFIX));
+            }
+        }
+        self.expect_ident()
     }
 
     // ------------------------------------------------------------------ expressions
@@ -959,6 +983,52 @@ mod tests {
         for task in &tasks {
             assert!(!task.obligations().is_empty());
         }
+    }
+
+    #[test]
+    fn parses_lemma_hints_alongside_label_hints() {
+        let src = r#"
+            class List {
+                private static int size;
+                public static void touch()
+                /*: ensures "True" */
+                {
+                    //: assert step: "0 <= size" by sizeInv, lemma cardNonNeg;
+                    //: assert last: "0 <= size" by lemma;
+                    /*: assert a: "0 <= size" by lemma
+                        assert b: "0 <= size" by lemma
+                        size := "size"; */
+                }
+            }
+        "#;
+        let program = parse_program(src).expect("parse");
+        let touch = &program.classes[0].methods[0];
+        let hints: Vec<Vec<String>> = touch
+            .body
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::SpecAssert { hints, .. } => Some(hints.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            hints[0],
+            vec![
+                "sizeInv".to_string(),
+                format!("{}cardNonNeg", jahob_vcgen::LEMMA_HINT_PREFIX)
+            ]
+        );
+        // A hint that is literally the label `lemma` stays a plain label hint: with a
+        // `;` terminator, and — since hint terminators are optional — when the next
+        // token opens another spec statement (`assert ...`) or a ghost assignment
+        // (`size := ...`).
+        assert_eq!(hints[1], vec!["lemma".to_string()]);
+        assert_eq!(hints[2], vec!["lemma".to_string()]);
+        assert_eq!(hints[3], vec!["lemma".to_string()]);
+        assert!(touch
+            .body
+            .iter()
+            .any(|s| matches!(s, Stmt::GhostAssign { target, .. } if target == "size")));
     }
 
     #[test]

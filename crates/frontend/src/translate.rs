@@ -19,6 +19,7 @@ use jahob_logic::form::{Const, Form, Ident};
 use jahob_logic::rewrite::resolve_old;
 use jahob_logic::types::Type;
 use jahob_logic::TypeEnv;
+use jahob_provers::{LemmaLibrary, ProverContext};
 use jahob_vcgen::{desugar, verification_conditions, Command, DesugarEnv, ProofObligation};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -66,6 +67,18 @@ impl MethodTask {
     /// A display name `Class.method`.
     pub fn qualified_name(&self) -> String {
         format!("{}.{}", self.class, self.method)
+    }
+
+    /// The prover context of this method: the set/function classification of its global
+    /// variables plus the (shared) lemma library — everything the prover interfaces
+    /// need alongside each obligation. This is the single construction point batching
+    /// layers and tools build their per-method contexts from.
+    pub fn prover_context(&self, lemmas: &LemmaLibrary) -> ProverContext {
+        ProverContext {
+            set_vars: self.set_vars(),
+            fun_vars: self.fun_vars(),
+            lemmas: lemmas.clone(),
+        }
     }
 }
 

@@ -99,19 +99,42 @@ impl fmt::Display for ProverId {
     }
 }
 
-/// A library of interactively proven lemmas (§6.6): obligations whose goal (identified by
-/// its label path and goal text) has been established by an external proof script. The
-/// dispatcher treats registered obligations as proved and attributes them to the
-/// interactive prover.
+/// A library of interactively proven lemmas (§6.6), in two forms:
+///
+/// * **registered obligations** — whole obligations (identified by label path and goal
+///   text) established by an external proof script; the dispatcher treats them as
+///   proved and attributes them to the interactive prover;
+/// * **named lemmas** — formulas under a name that `by lemma Name` hints can reference;
+///   the dispatcher injects the named formula as an extra assumption of the hinted
+///   sequent (the first step beyond label-only hints, §3.5).
 #[derive(Debug, Clone, Default)]
 pub struct LemmaLibrary {
     entries: BTreeSet<String>,
+    named: BTreeMap<String, Form>,
 }
 
 impl LemmaLibrary {
     /// Creates an empty library.
     pub fn new() -> Self {
         LemmaLibrary::default()
+    }
+
+    /// Registers a named lemma formula that `by lemma Name` hints can inject. The
+    /// formula is trusted (it stands for an interactively established fact), exactly
+    /// like registered obligations.
+    pub fn register_lemma(&mut self, name: impl Into<String>, formula: Form) {
+        self.named.insert(name.into(), formula);
+    }
+
+    /// The named lemma formulas, for resolving lemma hints
+    /// (see [`ProofObligation::hinted_sequent_with_lemmas`]).
+    pub fn named_lemmas(&self) -> &BTreeMap<String, Form> {
+        &self.named
+    }
+
+    /// Looks up a named lemma.
+    pub fn lemma(&self, name: &str) -> Option<&Form> {
+        self.named.get(name)
     }
 
     /// The canonical key of an obligation: its label path and printed goal.
@@ -133,14 +156,14 @@ impl LemmaLibrary {
         self.entries.contains(&Self::key_of(obligation))
     }
 
-    /// Number of registered lemmas.
+    /// Number of registered obligation proofs plus named lemmas.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.len() + self.named.len()
     }
 
-    /// Returns `true` if the library is empty.
+    /// Returns `true` if the library holds neither obligation proofs nor named lemmas.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.is_empty() && self.named.is_empty()
     }
 }
 
@@ -154,6 +177,100 @@ pub struct ProverContext {
     pub fun_vars: BTreeSet<String>,
     /// Interactively proven lemmas.
     pub lemmas: LemmaLibrary,
+}
+
+/// Provenance of one obligation within a program-wide batch: which data structure and
+/// method it came from, and its index in that method's obligation order. Dispatch
+/// treats the whole batch as one pool (§3.5, §6); the tag is what folds the per-
+/// obligation results back into per-method reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ObligationTag {
+    /// The data structure (suite entry) the obligation belongs to; empty outside suite
+    /// runs.
+    pub structure: String,
+    /// `Class.method`.
+    pub method: String,
+    /// The index of the obligation within its method (the VC split order).
+    pub index: usize,
+}
+
+/// One entry of an [`ObligationBatch`]: the obligation, its provenance, and the proving
+/// context of the method it came from. Contexts are shared per method behind an `Arc`,
+/// so batching a whole program costs one context per method, not per obligation.
+#[derive(Debug, Clone)]
+pub struct BatchEntry {
+    /// The proof obligation.
+    pub obligation: ProofObligation,
+    /// Where the obligation came from.
+    pub tag: ObligationTag,
+    /// The per-method proving context (set/function variable classification, lemmas).
+    pub context: Arc<ProverContext>,
+}
+
+/// A batch of proof obligations, each carrying provenance and its own proving context —
+/// the unit [`Dispatcher::prove_all`] dispatches. Assembling one batch per program (or
+/// per suite) hands the work-stealing queue the whole obligation pool at once while the
+/// tags keep per-method attribution intact.
+#[derive(Debug, Clone, Default)]
+pub struct ObligationBatch {
+    entries: Vec<BatchEntry>,
+}
+
+impl ObligationBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        ObligationBatch::default()
+    }
+
+    /// Appends one method's obligations, tagging each with `(structure, method, index)`
+    /// and sharing `context` across them.
+    pub fn push_method(
+        &mut self,
+        structure: &str,
+        method: &str,
+        context: Arc<ProverContext>,
+        obligations: Vec<ProofObligation>,
+    ) {
+        for (index, obligation) in obligations.into_iter().enumerate() {
+            self.entries.push(BatchEntry {
+                obligation,
+                tag: ObligationTag {
+                    structure: structure.to_string(),
+                    method: method.to_string(),
+                    index,
+                },
+                context: Arc::clone(&context),
+            });
+        }
+    }
+
+    /// A batch in which every obligation shares one context and carries only its index
+    /// as provenance — the shape unit tests and microbenches feed the dispatcher.
+    pub fn uniform(obligations: &[ProofObligation], context: &ProverContext) -> Self {
+        let mut batch = ObligationBatch::new();
+        batch.push_method("", "", Arc::new(context.clone()), obligations.to_vec());
+        batch
+    }
+
+    /// Appends all entries of `other`, preserving their tags.
+    pub fn append(&mut self, mut other: ObligationBatch) {
+        self.entries.append(&mut other.entries);
+    }
+
+    /// The entries, in batch order.
+    pub fn entries(&self) -> &[BatchEntry] {
+        &self.entries
+    }
+
+    /// Number of obligations in the batch.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the batch holds no obligations.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
 }
 
 /// Configuration of the dispatcher.
@@ -349,6 +466,41 @@ impl VerificationReport {
     }
 }
 
+/// The report of one obligation of a batch, paired with its provenance tag.
+#[derive(Debug, Clone)]
+pub struct TaggedReport {
+    /// Where the obligation came from.
+    pub tag: ObligationTag,
+    /// The single-obligation report (`total_sequents == 1`); its `total_time` is the
+    /// wall-clock time this obligation spent in [`Dispatcher::prove_one`].
+    pub report: VerificationReport,
+}
+
+/// The outcome of proving one [`ObligationBatch`]: per-obligation reports in batch
+/// order (so folding them per method reproduces the per-method `unproved` ordering
+/// exactly), plus the wall-clock time of the whole batch.
+#[derive(Debug, Clone, Default)]
+pub struct BatchReport {
+    /// One tagged report per obligation, in batch order.
+    pub per_obligation: Vec<TaggedReport>,
+    /// Wall-clock time of the whole `prove_all` call.
+    pub total_time: Duration,
+}
+
+impl BatchReport {
+    /// Merges every per-obligation report into one aggregate. The aggregate's
+    /// `total_time` is the batch wall clock, not the sum of per-obligation times (the
+    /// two differ under parallel dispatch).
+    pub fn aggregate(&self) -> VerificationReport {
+        let mut report = VerificationReport::default();
+        for tagged in &self.per_obligation {
+            report.merge(&tagged.report);
+        }
+        report.total_time = self.total_time;
+        report
+    }
+}
+
 /// The integrated-reasoning dispatcher.
 ///
 /// Cloning a dispatcher shares its result cache (the cache sits behind an `Arc`), so
@@ -359,6 +511,7 @@ pub struct Dispatcher {
     /// Configuration (prover order, threads, caching, hint usage).
     pub config: DispatcherConfig,
     cache: Arc<SequentCache>,
+    batches: Arc<AtomicUsize>,
 }
 
 impl Dispatcher {
@@ -372,6 +525,7 @@ impl Dispatcher {
         Dispatcher {
             config,
             cache: Arc::new(SequentCache::new()),
+            batches: Arc::new(AtomicUsize::new(0)),
         }
     }
 
@@ -388,45 +542,49 @@ impl Dispatcher {
         &self.cache
     }
 
-    /// Proves a batch of obligations, returning the aggregated report.
+    /// Number of `prove_all` calls this dispatcher (and its clones) has dispatched.
+    /// The driver's program-wide batching contract — `verify_program` issues exactly
+    /// one batch per program, `run_suite` one per suite — is asserted against this.
+    pub fn batches_dispatched(&self) -> usize {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Proves one tagged batch, returning a per-obligation report stream in batch
+    /// order. Each obligation is proved under **its own** [`ProverContext`] (carried by
+    /// its [`BatchEntry`]), which is what lets one batch span every method of a program
+    /// — the main reason the previous fixed-context signature could not batch across
+    /// methods.
     ///
-    /// With `threads > 1`, workers claim obligations from one shared atomic queue
-    /// ([`DispatcherConfig::granularity`] obligations per claim) instead of being
+    /// With `threads > 1`, workers claim entries from one shared atomic queue
+    /// ([`DispatcherConfig::granularity`] entries per claim) instead of being
     /// pre-assigned contiguous chunks: a single expensive obligation then occupies one
     /// worker while the others drain the rest of the queue. Per-obligation results are
-    /// written into per-index slots and merged in obligation order, so the report —
-    /// including the `unproved` list — is identical for every thread count.
-    pub fn prove_all(
-        &self,
-        obligations: &[ProofObligation],
-        context: &ProverContext,
-    ) -> VerificationReport {
+    /// written into per-index slots and emitted in batch order, so the folded reports —
+    /// including every method's `unproved` list — are identical for every thread count.
+    pub fn prove_all(&self, batch: &ObligationBatch) -> BatchReport {
+        self.batches.fetch_add(1, Ordering::Relaxed);
         let start = Instant::now();
-        let threads = self.config.threads.max(1).min(obligations.len().max(1));
-        let mut report = if threads <= 1 {
-            let mut r = VerificationReport::default();
-            for ob in obligations {
-                let one = self.prove_one(ob, context);
-                r.merge(&one);
-            }
-            r
+        let entries = batch.entries();
+        let threads = self.config.threads.max(1).min(entries.len().max(1));
+        let reports: Vec<VerificationReport> = if threads <= 1 {
+            entries.iter().map(|e| self.prove_entry(e)).collect()
         } else {
             let granularity = self.config.granularity.max(1);
             let next = AtomicUsize::new(0);
             let slots: Vec<OnceLock<VerificationReport>> =
-                (0..obligations.len()).map(|_| OnceLock::new()).collect();
+                (0..entries.len()).map(|_| OnceLock::new()).collect();
             std::thread::scope(|scope| {
                 for _ in 0..threads {
                     let next = &next;
                     let slots = &slots;
                     scope.spawn(move || loop {
                         let lo = next.fetch_add(granularity, Ordering::Relaxed);
-                        if lo >= obligations.len() {
+                        if lo >= entries.len() {
                             break;
                         }
-                        let hi = (lo + granularity).min(obligations.len());
-                        for (i, ob) in obligations[lo..hi].iter().enumerate() {
-                            let one = self.prove_one(ob, context);
+                        let hi = (lo + granularity).min(entries.len());
+                        for (i, entry) in entries[lo..hi].iter().enumerate() {
+                            let one = self.prove_entry(entry);
                             slots[lo + i]
                                 .set(one)
                                 .expect("obligation indices are claimed exactly once");
@@ -434,15 +592,45 @@ impl Dispatcher {
                     });
                 }
             });
-            let mut r = VerificationReport::default();
-            for slot in slots {
-                let one = slot
-                    .into_inner()
-                    .expect("every claimed obligation stores a result");
-                r.merge(&one);
-            }
-            r
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("every claimed obligation stores a result")
+                })
+                .collect()
         };
+        BatchReport {
+            per_obligation: entries
+                .iter()
+                .zip(reports)
+                .map(|(entry, report)| TaggedReport {
+                    tag: entry.tag.clone(),
+                    report,
+                })
+                .collect(),
+            total_time: start.elapsed(),
+        }
+    }
+
+    /// Proves a uniform-context batch and aggregates the result — the per-method view
+    /// retained for callers that hold plain obligation slices (unit tests, microbenches,
+    /// obligation dumps).
+    pub fn prove_obligations(
+        &self,
+        obligations: &[ProofObligation],
+        context: &ProverContext,
+    ) -> VerificationReport {
+        self.prove_all(&ObligationBatch::uniform(obligations, context))
+            .aggregate()
+    }
+
+    /// Proves one batch entry, stamping the report with the obligation's wall time (so
+    /// per-method folds sum to a meaningful method time even inside a program-wide
+    /// batch).
+    fn prove_entry(&self, entry: &BatchEntry) -> VerificationReport {
+        let start = Instant::now();
+        let mut report = self.prove_one(&entry.obligation, &entry.context);
         report.total_time = start.elapsed();
         report
     }
@@ -456,9 +644,13 @@ impl Dispatcher {
         // §5.3: before any prover runs, substitute the definitions of the intermediate
         // variables introduced by the VC generator (assignment temporaries, pre-state
         // snapshots, splitter renamings). Every prover then works on the collapsed
-        // sequent. The hinted variant, when present, is what the provers try first.
-        let hinted = (self.config.use_hints && !obligation.hints.is_empty())
-            .then(|| inline_definitions(&obligation.hinted_sequent()));
+        // sequent. The hinted variant — label-selected assumptions plus any library
+        // lemmas the hints name — is what the provers try first.
+        let hinted = (self.config.use_hints && !obligation.hints.is_empty()).then(|| {
+            inline_definitions(
+                &obligation.hinted_sequent_with_lemmas(context.lemmas.named_lemmas()),
+            )
+        });
         let full = inline_definitions(&obligation.sequent);
         if !self.config.cache {
             return self.prove_one_uncached(obligation, context, hinted.as_ref(), &full);
@@ -804,10 +996,10 @@ mod tests {
             ob(&["p"], "q"),
         ];
         let context = ProverContext::default();
-        let sequential = Dispatcher::new().prove_all(&obs, &context);
+        let sequential = Dispatcher::new().prove_obligations(&obs, &context);
         let mut parallel = Dispatcher::new();
         parallel.config.threads = 3;
-        let par = parallel.prove_all(&obs, &context);
+        let par = parallel.prove_obligations(&obs, &context);
         assert_eq!(sequential.proved_sequents, 3);
         assert_eq!(par.proved_sequents, 3);
         assert_eq!(sequential.total_sequents, par.total_sequents);
@@ -817,10 +1009,114 @@ mod tests {
     fn report_renders_figure7_style_output() {
         let obs = vec![ob(&["p"], "p"), ob(&["x = y"], "y = x")];
         let context = ProverContext::default();
-        let report = Dispatcher::new().prove_all(&obs, &context);
+        let report = Dispatcher::new().prove_obligations(&obs, &context);
         let text = report.render("List.add");
         assert!(text.contains("Built-in checker proved"));
         assert!(text.contains("A total of 2 sequents out of 2 proved."));
         assert!(text.contains("Verification SUCCEEDED"));
+    }
+
+    #[test]
+    fn tagged_batch_preserves_per_method_attribution_and_contexts() {
+        // Two "methods" with different contexts in one batch: the cardinality method
+        // classifies `content` as a set (required for BAPA/SMT translation options to
+        // line up with a per-method run), the propositional one proves syntactically.
+        let mut card_context = ProverContext::default();
+        card_context.set_vars.insert("content".into());
+        let mut batch = ObligationBatch::new();
+        batch.push_method(
+            "S",
+            "List.add",
+            Arc::new(card_context),
+            vec![ob(
+                &["size = card content", "x ~: content"],
+                "size + 1 = card (content Un {x})",
+            )],
+        );
+        batch.push_method(
+            "S",
+            "List.isEmpty",
+            Arc::new(ProverContext::default()),
+            vec![ob(&["p"], "p"), ob(&["p"], "q")],
+        );
+        let dispatcher = Dispatcher::new();
+        let report = dispatcher.prove_all(&batch);
+        assert_eq!(dispatcher.batches_dispatched(), 1);
+        assert_eq!(report.per_obligation.len(), 3);
+        let tags: Vec<(&str, usize)> = report
+            .per_obligation
+            .iter()
+            .map(|t| (t.tag.method.as_str(), t.tag.index))
+            .collect();
+        assert_eq!(
+            tags,
+            vec![("List.add", 0), ("List.isEmpty", 0), ("List.isEmpty", 1)]
+        );
+        assert!(report.per_obligation[0].report.succeeded());
+        assert!(report.per_obligation[1].report.succeeded());
+        assert!(!report.per_obligation[2].report.succeeded());
+        let aggregate = report.aggregate();
+        assert_eq!(aggregate.total_sequents, 3);
+        assert_eq!(aggregate.proved_sequents, 2);
+        assert_eq!(aggregate.unproved.len(), 1);
+    }
+
+    #[test]
+    fn cache_keys_on_the_per_obligation_context() {
+        // The same sequent under two contexts that classify its free variables
+        // differently must not share a cache entry: the classification steers the
+        // SMT/FOL translations, so a cross-context hit could be unsound.
+        let o = ob(&["s = t"], "card s = card t");
+        let mut set_context = ProverContext::default();
+        set_context.set_vars.insert("s".into());
+        set_context.set_vars.insert("t".into());
+        let mut batch = ObligationBatch::new();
+        batch.push_method("", "a", Arc::new(set_context), vec![o.clone()]);
+        batch.push_method("", "b", Arc::new(ProverContext::default()), vec![o]);
+        // Pinned config: under `Dispatcher::new()` the JAHOB_* env overrides apply, and
+        // with threads > 1 two workers can race the same cold key (both miss), making
+        // the exact hit/miss counts below indeterminate.
+        let dispatcher = Dispatcher::with_config(DispatcherConfig::pinned(1, true, 1));
+        dispatcher.prove_all(&batch);
+        let stats = dispatcher.cache().stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (0, 2),
+            "distinct contexts must produce distinct cache keys"
+        );
+        // The same context twice, on the other hand, hits.
+        let o = ob(&["s = t"], "card s = card t");
+        let mut batch = ObligationBatch::new();
+        batch.push_method("", "a", Arc::new(ProverContext::default()), vec![o.clone()]);
+        batch.push_method("", "b", Arc::new(ProverContext::default()), vec![o]);
+        let dispatcher = Dispatcher::with_config(DispatcherConfig::pinned(1, true, 1));
+        let report = dispatcher.prove_all(&batch);
+        assert_eq!(report.aggregate().cache_hits, 1);
+    }
+
+    #[test]
+    fn lemma_hints_let_the_library_discharge_sequents() {
+        // The goal follows syntactically from the lemma, but from nothing in the
+        // sequent itself: only the injected lemma assumption can discharge it.
+        let mut o = ob(&["comment ''noise'' (c : d)"], "null ~: alloc");
+        o.hints = vec!["lemma:nullFresh".to_string()];
+        let dispatcher = Dispatcher::new();
+        let without = dispatcher.prove_one(&o, &ProverContext::default());
+        assert!(
+            !without.succeeded(),
+            "unhinted sequent must not be provable"
+        );
+        let mut context = ProverContext::default();
+        context
+            .lemmas
+            .register_lemma("nullFresh", parse_form("null ~: alloc").expect("parse"));
+        let with = dispatcher.prove_one(&o, &context);
+        assert!(
+            with.succeeded(),
+            "lemma hint should inject the library fact"
+        );
+        // A plain (unprefixed) hint resolves against the library too.
+        o.hints = vec!["nullFresh".to_string()];
+        assert!(dispatcher.prove_one(&o, &context).succeeded());
     }
 }

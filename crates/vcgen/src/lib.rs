@@ -20,4 +20,4 @@ pub mod command;
 pub mod wlp;
 
 pub use command::{collect_modified, desugar, Command, DesugarEnv, Simple};
-pub use wlp::{split, verification_conditions, wlp, ProofObligation};
+pub use wlp::{split, verification_conditions, wlp, ProofObligation, LEMMA_HINT_PREFIX};

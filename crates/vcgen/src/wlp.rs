@@ -6,10 +6,15 @@ use jahob_logic::simplify::simplify;
 use jahob_logic::subst::{fresh_name, substitute_one};
 use jahob_logic::types::Type;
 use jahob_logic::Sequent;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Prefix used internally to carry `by` hints through the weakest-precondition formula.
 const HINT_LABEL_PREFIX: &str = "hint:";
+
+/// Prefix marking a `by` hint that names a lemma from the interactive lemma library
+/// rather than an assumption label (the frontend's `by lemma Name` syntax). The named
+/// formula is injected as an extra assumption of the hinted sequent.
+pub const LEMMA_HINT_PREFIX: &str = "lemma:";
 
 /// A proof obligation: a sequent plus the `by` hints attached to its goal (§3.5). An
 /// empty hint list means "use all assumptions".
@@ -17,19 +22,65 @@ const HINT_LABEL_PREFIX: &str = "hint:";
 pub struct ProofObligation {
     /// The sequent to prove.
     pub sequent: Sequent,
-    /// Labels of the assumptions the developer asked to use.
+    /// Hints attached to the goal: assumption labels the developer asked to use, plus
+    /// `lemma:`-prefixed names of library lemmas to inject (see [`LEMMA_HINT_PREFIX`]).
     pub hints: Vec<String>,
 }
 
 impl ProofObligation {
     /// The sequent restricted to the hinted assumptions (or the full sequent when no
-    /// hints were given).
+    /// hints were given). Lemma hints are ignored here; use
+    /// [`ProofObligation::hinted_sequent_with_lemmas`] to resolve them.
     pub fn hinted_sequent(&self) -> Sequent {
+        self.hinted_sequent_with_lemmas(&BTreeMap::new())
+    }
+
+    /// The hinted sequent with lemma hints resolved against `lemmas` (name → formula).
+    ///
+    /// Each hint is interpreted in order: a `lemma:`-prefixed hint injects the named
+    /// formula as an extra assumption (wrapped in a `comment ''lemma:Name''` marker so
+    /// its provenance stays visible); a plain hint selects labelled assumptions as
+    /// before, falling back to the lemma library only when it matches **no** assumption
+    /// label of the sequent — so registering a lemma can never silently change the
+    /// meaning of an existing label hint. When no hint selects a label, the full
+    /// assumption set is kept — hints are advice, never a restriction that silently
+    /// drops the whole context. Unknown names are ignored (the full-sequent retry in
+    /// the dispatcher keeps completeness).
+    pub fn hinted_sequent_with_lemmas(&self, lemmas: &BTreeMap<String, Form>) -> Sequent {
         if self.hints.is_empty() {
+            return self.sequent.clone();
+        }
+        let assumption_labels: BTreeSet<&str> = self
+            .sequent
+            .assumptions
+            .iter()
+            .flat_map(|a| a.strip_comments().0)
+            .collect();
+        let mut label_hints: Vec<String> = Vec::new();
+        let mut lemma_hints: Vec<String> = Vec::new();
+        for hint in &self.hints {
+            if let Some(name) = hint.strip_prefix(LEMMA_HINT_PREFIX) {
+                lemma_hints.push(name.to_string());
+            } else if !assumption_labels.contains(hint.as_str()) && lemmas.contains_key(hint) {
+                lemma_hints.push(hint.clone());
+            } else {
+                label_hints.push(hint.clone());
+            }
+        }
+        let mut sequent = if label_hints.is_empty() {
             self.sequent.clone()
         } else {
-            self.sequent.filter_by_labels(&self.hints)
+            self.sequent.filter_by_labels(&label_hints)
+        };
+        for name in &lemma_hints {
+            if let Some(formula) = lemmas.get(name) {
+                sequent.assumptions.push(Form::comment(
+                    format!("{LEMMA_HINT_PREFIX}{name}"),
+                    formula.clone(),
+                ));
+            }
         }
+        sequent
     }
 }
 
@@ -280,6 +331,41 @@ mod tests {
         assert_eq!(ob.hinted_sequent().assumptions.len(), 1);
         ob.hints.clear();
         assert_eq!(ob.hinted_sequent().assumptions.len(), 2);
+    }
+
+    #[test]
+    fn lemma_hints_inject_library_formulas_as_assumptions() {
+        let vc = p("comment ''a'' (x = 1) --> x = 1");
+        let mut obligations = split(&vc);
+        let mut ob = obligations.remove(0);
+        let mut lemmas = BTreeMap::new();
+        lemmas.insert("nullFresh".to_string(), p("null ~: alloc"));
+        // An explicit `lemma:` hint injects the formula alongside the kept labels.
+        ob.hints = vec!["a".to_string(), "lemma:nullFresh".to_string()];
+        let hinted = ob.hinted_sequent_with_lemmas(&lemmas);
+        assert_eq!(hinted.assumptions.len(), 2);
+        assert_eq!(
+            hinted.assumptions[1],
+            Form::comment("lemma:nullFresh", p("null ~: alloc"))
+        );
+        // A plain hint that matches no assumption label falls back to the library —
+        // and with no label hints left, the full assumption set is kept.
+        ob.hints = vec!["nullFresh".to_string()];
+        let hinted = ob.hinted_sequent_with_lemmas(&lemmas);
+        assert_eq!(hinted.assumptions.len(), 2);
+        // Assumption labels take precedence: registering a lemma under an existing
+        // label never changes what a plain label hint selects.
+        lemmas.insert("a".to_string(), p("captured = True"));
+        ob.hints = vec!["a".to_string()];
+        let hinted = ob.hinted_sequent_with_lemmas(&lemmas);
+        assert_eq!(hinted.assumptions.len(), 1);
+        assert_eq!(hinted.assumptions[0], Form::comment("a", p("x = 1")));
+        // Unknown lemma names are ignored rather than dropping assumptions.
+        ob.hints = vec!["lemma:unknown".to_string()];
+        let hinted = ob.hinted_sequent_with_lemmas(&lemmas);
+        assert_eq!(hinted.assumptions.len(), 1);
+        // Without a library, `hinted_sequent` treats lemma hints as inert.
+        assert_eq!(ob.hinted_sequent().assumptions.len(), 1);
     }
 
     #[test]

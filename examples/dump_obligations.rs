@@ -13,7 +13,7 @@
 //! ```
 
 use jahob_repro::jahob::suite;
-use jahob_repro::provers::{Dispatcher, ProverContext};
+use jahob_repro::provers::{Dispatcher, LemmaLibrary};
 
 fn main() {
     let wanted = std::env::args()
@@ -33,11 +33,7 @@ fn main() {
     let dispatcher = Dispatcher::new();
     for task in jahob_frontend::program_tasks(&entry.program) {
         println!("==== {} ====", task.qualified_name());
-        let context = ProverContext {
-            set_vars: task.set_vars(),
-            fun_vars: task.fun_vars(),
-            ..ProverContext::default()
-        };
+        let context = task.prover_context(&LemmaLibrary::new());
         for (i, ob) in task.obligations().iter().enumerate() {
             let label = if ob.sequent.labels.is_empty() {
                 "<unlabelled>".to_string()
@@ -59,7 +55,7 @@ fn main() {
         }
         // Also print the Figure 7 style summary for the method.
         let obligations = task.obligations();
-        let report = dispatcher.prove_all(&obligations, &context);
+        let report = dispatcher.prove_obligations(&obligations, &context);
         println!("{}", report.render(&task.qualified_name()));
     }
 }

@@ -51,7 +51,7 @@ fn integrated_reasoning_spreads_sequents_over_provers() {
             "n : alloc",
         ),
     ];
-    let report = Dispatcher::new().prove_all(&obs, &ProverContext::default());
+    let report = Dispatcher::new().prove_obligations(&obs, &ProverContext::default());
     assert!(report.succeeded(), "unproved: {:?}", report.unproved);
     let distinct_provers = report
         .per_prover
