@@ -7,11 +7,15 @@ use jahob::{run_suite, suite, verify_task, VerifyOptions};
 use jahob_provers::{Dispatcher, LemmaLibrary, ObligationBatch, ProverId};
 use std::time::Duration;
 
-/// Options with the given thread count and cache switch (ignoring env overrides, so the
-/// ablation axes stay fixed no matter how the bench process is invoked).
+/// Options with the given thread count and cache switch (ignoring env overrides, so
+/// the ablation axes stay fixed no matter how the bench process is invoked). Routing
+/// is pinned **off** here: these ablations measure the fixed global order and the
+/// other scaling knobs; the routing axis has its own `ablation/route_*` benches.
 fn options(threads: usize, cache: bool) -> VerifyOptions {
+    let mut dispatcher = jahob::DispatcherConfig::pinned(threads, cache, 1);
+    dispatcher.route = false;
     VerifyOptions {
-        dispatcher: jahob::DispatcherConfig::pinned(threads, cache, 1),
+        dispatcher,
         ..VerifyOptions::default()
     }
 }
@@ -44,6 +48,26 @@ fn ablations(c: &mut Criterion) {
     c.bench_function("ablation/no_hint_filtering", |b| {
         b.iter(|| verify_task(task, &no_hints))
     });
+
+    // The routing axis: the same method (and the whole suite below) with the
+    // feature-directed per-sequent cascade order on vs the fixed global order. The
+    // route-off baseline for the single method is `ablation/order_cheap_first`
+    // above — `options()` pins routing off, so a separate route_off bench would
+    // measure the identical configuration twice.
+    let mut routed = options(1, false);
+    routed.dispatcher.route = true;
+    c.bench_function("ablation/route_on", |b| {
+        b.iter(|| verify_task(task, &routed))
+    });
+    for (name, cache, route) in [
+        ("ablation/suite_route_on", false, true),
+        ("ablation/suite_route_off", false, false),
+        ("ablation/suite_route_on_cache", true, true),
+    ] {
+        let mut opts = options(1, cache);
+        opts.dispatcher.route = route;
+        c.bench_function(name, |b| b.iter(|| run_suite(&opts)));
+    }
 
     // The scaling ablations run the whole Figure 15 suite: the cache only pays off when
     // obligations recur across methods, and load balance only matters when obligation

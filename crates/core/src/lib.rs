@@ -167,6 +167,7 @@ impl SuiteRow {
                 e.proved += s.proved;
                 e.attempted += s.attempted;
                 e.cache_hits += s.cache_hits;
+                e.skipped += s.skipped;
                 e.time += s.time;
             }
             row.total_sequents += r.report.total_sequents;
@@ -212,7 +213,20 @@ pub fn run_suite_with(dispatcher: &Dispatcher, lemmas: &LemmaLibrary) -> Vec<Sui
         .collect()
 }
 
-/// Renders suite rows as a Figure 15-style table.
+/// Total prover attempts the failure memo skipped across `rows`, all provers summed —
+/// the number behind the Figure 15 footer, the `suite_failure_skips` bench metric and
+/// the differential harness's memo assertions.
+pub fn suite_failure_skips(rows: &[SuiteRow]) -> usize {
+    rows.iter()
+        .flat_map(|r| r.per_prover.values())
+        .map(|s| s.skipped)
+        .sum()
+}
+
+/// Renders suite rows as a Figure 15-style table. Each prover cell shows
+/// `proved/attempted` (with the prover's total time), so the cost of failed cascade
+/// attempts — what per-sequent routing and the failure memo exist to remove — is
+/// visible in the suite table, not just in benches.
 pub fn render_figure15(rows: &[SuiteRow]) -> String {
     let provers = [
         ProverId::Syntactic,
@@ -231,12 +245,20 @@ pub fn render_figure15(rows: &[SuiteRow]) -> String {
         "{:>10}{:>10}{:>12}{:>10}\n",
         "Proved", "Total", "Time", "Hit rate"
     ));
+    let subtitle = format!("{:>16}", "(proved/att)").repeat(provers.len());
+    out.push_str(&format!("{:<24}{subtitle}\n", ""));
     for row in rows {
         out.push_str(&format!("{:<24}", row.name));
         for p in provers {
             match row.per_prover.get(&p) {
-                Some(s) if s.proved > 0 => {
-                    out.push_str(&format!("{:>10} ({:.1}s)", s.proved, s.time.as_secs_f64()));
+                Some(s) if s.proved > 0 || s.attempted > 0 => {
+                    let cell = format!(
+                        "{}/{} ({:.1}s)",
+                        s.proved,
+                        s.attempted,
+                        s.time.as_secs_f64()
+                    );
+                    out.push_str(&format!("{cell:>16}"));
                 }
                 _ => out.push_str(&format!("{:>16}", "")),
             }
@@ -263,6 +285,12 @@ pub fn render_figure15(rows: &[SuiteRow]) -> String {
             hits,
             misses,
             100.0 * hits as f64 / (hits + misses) as f64
+        ));
+    }
+    let skipped = suite_failure_skips(rows);
+    if skipped > 0 {
+        out.push_str(&format!(
+            "Failure memo: {skipped} dead prover attempts skipped across the suite.\n"
         ));
     }
     out

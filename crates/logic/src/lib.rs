@@ -18,7 +18,9 @@
 //! ([`parser`]), pretty printing, substitution and beta reduction ([`subst`]), type
 //! inference ([`typecheck`]), logical simplification and normal forms ([`simplify`]),
 //! sequents ([`sequent`]), the prover-independent rewrites used by formula approximation
-//! ([`rewrite`]) and the polarity-based approximation scheme of Figure 14 ([`approx`]).
+//! ([`rewrite`]), the polarity-based approximation scheme of Figure 14 ([`approx`]),
+//! and the one-pass syntactic feature extraction behind per-sequent prover routing
+//! ([`features`]).
 //!
 //! # Example
 //!
@@ -36,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod approx;
+pub mod features;
 pub mod form;
 pub mod norm;
 pub mod parser;
@@ -46,6 +49,7 @@ pub mod subst;
 pub mod typecheck;
 pub mod types;
 
+pub use features::SequentFeatures;
 pub use form::{Binder, Const, Form, Ident};
 pub use parser::{parse_form, parse_type, ParseError};
 pub use sequent::Sequent;

@@ -14,6 +14,16 @@
 //! lists key identically. Every transformation preserves logical equivalence, so a
 //! cache hit on a proved entry is sound: the hit sequent is equivalent to one a prover
 //! actually discharged.
+//!
+//! The cache also has a **negative side**: a set of memoized failed attempts keyed by
+//! `(prover, canonical sequent, variable classification)` ([`FailureKey`]). The
+//! dispatcher consults it inside the uncached prover cascade, so a prover is never
+//! re-run on a canonicalized sequent it already declined — neither on the full-sequent
+//! retry after a failed hinted attempt, nor across obligations and retried suite runs
+//! sharing the cache. The provers are deterministic functions of the canonicalized
+//! sequent (plus the classification the key carries), so a memoized failure skip never
+//! changes which sequents end up proved — the differential harness pins this across
+//! the whole configuration matrix.
 
 use jahob_logic::norm::{alpha_normalize, canonicalize, inline_definitions};
 use jahob_logic::{Form, Sequent};
@@ -134,6 +144,54 @@ pub(crate) struct CachedOutcome {
     /// on every hit so the Figure 15 "attempted" columns agree between cached and
     /// uncached runs (only the times differ — hits cost no prover time).
     pub attempted: Vec<(ProverId, usize)>,
+    /// The per-prover counts of attempts the original run *skipped* because the
+    /// failure memo already knew them dead. Replayed alongside `attempted` so cached
+    /// and uncached accounting stay field-for-field identical.
+    pub skipped: Vec<(ProverId, usize)>,
+}
+
+/// The key of one memoized **failed** attempt site: the canonical form of the exact
+/// sequent a prover ran on, and the set/function classification of that sequent's
+/// free variables (the classification steers the SMT/FOL translations, so a prover
+/// can fail a sequent under one classification and prove it under another). Which
+/// provers failed at the site is stored as a bitmask *value* in the failure map, so
+/// one cascade builds this key once per phase instead of once per prover.
+///
+/// A failure bit is only ever set after the prover actually ran and declined a
+/// sequent with this canonical key. Serving the bit to a *different* presentation of
+/// the same canonical sequent assumes provers behave identically on
+/// canonically-equal inputs — the same assumption the verdict cache has always made
+/// when replaying an `unproved` outcome (a cache hit on a failed verdict skips every
+/// prover, not just one). The assumption is not literally airtight for the
+/// resolution prover, whose fixed iteration budget makes it presentation-sensitive
+/// in principle; the differential harness pins, per configuration matrix, that
+/// verdicts are unaffected in practice. The interactive prover is never memoized
+/// here: its verdict depends on the lemma library and the obligation's label path,
+/// not on the sequent alone.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct FailureKey {
+    /// Canonical key of the sequent the provers were attempted on.
+    pub sequent: SequentKey,
+    /// Set/function classification of the sequent's free variables.
+    pub var_classes: String,
+}
+
+/// Tests `prover`'s bit within a failure mask fetched by
+/// [`SequentCache::failed_mask`].
+pub(crate) fn mask_contains(mask: u8, prover: ProverId) -> bool {
+    mask & prover_bit(prover) != 0
+}
+
+/// The bit of `prover` within a failure-map bitmask value.
+fn prover_bit(prover: ProverId) -> u8 {
+    1 << match prover {
+        ProverId::Syntactic => 0,
+        ProverId::Mona => 1,
+        ProverId::Smt => 2,
+        ProverId::Fol => 3,
+        ProverId::Bapa => 4,
+        ProverId::Interactive => 5,
+    }
 }
 
 /// Lifetime hit/miss counters of a cache (across every `prove_all` run that shared it).
@@ -149,6 +207,9 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that fell through to the provers.
     pub misses: u64,
+    /// Individual prover attempts skipped because the negative side of the cache
+    /// already recorded the `(prover, sequent)` pair as a failure.
+    pub failure_hits: u64,
 }
 
 impl CacheStats {
@@ -171,8 +232,16 @@ impl CacheStats {
 #[derive(Debug, Default)]
 pub struct SequentCache {
     shards: [Mutex<HashMap<CacheKey, CachedOutcome>>; SHARDS],
+    /// The negative side: memoized failed attempts as a per-prover bitmask keyed by
+    /// `(sequent, classes)`, sharded like the verdict map. Entries are only consulted
+    /// on the uncached prover cascade, so no prover is ever re-run on a canonicalized
+    /// sequent it already declined — within one cascade (the full-sequent retry after
+    /// a failed hinted attempt) and across obligations and retried runs that share
+    /// the cache.
+    failures: [Mutex<HashMap<FailureKey, u8>>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
+    failure_hits: AtomicU64,
 }
 
 impl SequentCache {
@@ -185,6 +254,59 @@ impl SequentCache {
         let mut hasher = DefaultHasher::new();
         key.hash(&mut hasher);
         &self.shards[(hasher.finish() % SHARDS as u64) as usize]
+    }
+
+    fn failure_shard(&self, key: &FailureKey) -> &Mutex<HashMap<FailureKey, u8>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.failures[(hasher.finish() % SHARDS as u64) as usize]
+    }
+
+    /// The bitmask of provers memoized as failing the attempt site `key` (0 when the
+    /// site is unknown). Fetched **once per cascade phase** — one lock, one hash —
+    /// and then tested per prover with [`mask_contains`]; each skip the caller takes
+    /// must be reported through [`SequentCache::note_failure_hit`].
+    pub(crate) fn failed_mask(&self, key: &FailureKey) -> u8 {
+        self.failure_shard(key)
+            .lock()
+            .expect("failure shard poisoned")
+            .get(key)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Counts one prover attempt skipped thanks to the failure memo.
+    pub(crate) fn note_failure_hit(&self) {
+        self.failure_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one failed prover attempt. The key is cloned only when the attempt
+    /// site is new; further provers failing the same site just set their bit.
+    pub(crate) fn record_failure(&self, key: &FailureKey, prover: ProverId) {
+        let mut shard = self
+            .failure_shard(key)
+            .lock()
+            .expect("failure shard poisoned");
+        match shard.get_mut(key) {
+            Some(mask) => *mask |= prover_bit(prover),
+            None => {
+                shard.insert(key.clone(), prover_bit(prover));
+            }
+        }
+    }
+
+    /// Number of memoized failed `(prover, sequent)` attempts.
+    pub fn failure_len(&self) -> usize {
+        self.failures
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("failure shard poisoned")
+                    .values()
+                    .map(|mask| mask.count_ones() as usize)
+                    .collect::<Vec<_>>()
+            })
+            .sum()
     }
 
     /// Looks up a key, recording a hit or miss in the lifetime counters.
@@ -224,11 +346,12 @@ impl SequentCache {
         self.len() == 0
     }
 
-    /// Lifetime hit/miss counters.
+    /// Lifetime hit/miss counters (including negative-side failure hits).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            failure_hits: self.failure_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -289,11 +412,43 @@ mod tests {
             proved: true,
             prover: Some(ProverId::Syntactic),
             attempted: vec![(ProverId::Syntactic, 1)],
+            skipped: Vec::new(),
         };
         cache.insert(key.clone(), outcome.clone());
         assert_eq!(cache.lookup(&key), Some(outcome));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn failure_memo_round_trips_and_counts() {
+        let cache = SequentCache::new();
+        let key = FailureKey {
+            sequent: SequentKey::of(&seq(&["size = card content"], "size = card content")),
+            var_classes: "S:content;".into(),
+        };
+        assert!(!mask_contains(cache.failed_mask(&key), ProverId::Mona));
+        cache.record_failure(&key, ProverId::Mona);
+        assert!(mask_contains(cache.failed_mask(&key), ProverId::Mona));
+        assert_eq!(cache.failure_len(), 1);
+        // A different prover on the same attempt site is a distinct failure bit.
+        assert!(!mask_contains(cache.failed_mask(&key), ProverId::Smt));
+        cache.record_failure(&key, ProverId::Smt);
+        let mask = cache.failed_mask(&key);
+        assert!(mask_contains(mask, ProverId::Smt) && mask_contains(mask, ProverId::Mona));
+        assert_eq!(cache.failure_len(), 2);
+        // A different classification is a distinct attempt site.
+        let other = FailureKey {
+            var_classes: String::new(),
+            ..key.clone()
+        };
+        assert_eq!(cache.failed_mask(&other), 0);
+        // Failure hits are counted separately from verdict hits/misses, and only when
+        // the dispatcher reports an actually skipped attempt.
+        cache.note_failure_hit();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+        assert_eq!(stats.failure_hits, 1);
     }
 }

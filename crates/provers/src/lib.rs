@@ -22,7 +22,7 @@
 //! independent obligations over worker threads, and records per-prover sequent counts and
 //! times — the data reported in Figures 7 and 15 of the paper.
 //!
-//! Two scaling mechanisms sit in front of the provers:
+//! Three scaling mechanisms sit in front of the provers:
 //!
 //! * **work-stealing dispatch** — with [`DispatcherConfig::threads`] > 1, workers pull
 //!   individual obligations (in batches of [`DispatcherConfig::granularity`]) from one
@@ -30,19 +30,28 @@
 //!   way a contiguous-chunk split does;
 //! * **result caching** — with [`DispatcherConfig::cache`] enabled, every obligation is
 //!   keyed by the canonical form of its definition-inlined sequent ([`SequentKey`]) and
-//!   looked up in a sharded in-memory cache before any prover runs ([`cache`]).
+//!   looked up in a sharded in-memory cache before any prover runs ([`cache`]); the
+//!   cache's negative side additionally memoizes failed `(prover, sequent)` attempts,
+//!   so no prover is ever re-run on a canonicalized sequent it already declined;
+//! * **per-sequent routing** — with [`DispatcherConfig::route`] enabled, each
+//!   obligation's cascade order is chosen from the sequent's syntactic features
+//!   ([`jahob_logic::SequentFeatures`] → [`router`]): provers whose fragment the
+//!   sequent matches run first, hopeless ones are demoted to a fallback tail (never
+//!   dropped), so e.g. MONA stops burning ~100 ms failing on cardinality sequents
+//!   BAPA discharges in microseconds.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod router;
 
 pub use cache::{CacheStats, SequentCache, SequentKey};
 
-use cache::{CacheKey, CachedOutcome};
+use cache::{CacheKey, CachedOutcome, FailureKey};
 use jahob_logic::norm::{canonicalize, inline_definitions};
 use jahob_logic::simplify::{simplify, strip_comments_deep};
-use jahob_logic::Form;
+use jahob_logic::{Form, SequentFeatures};
 use jahob_vcgen::ProofObligation;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -291,12 +300,18 @@ pub struct DispatcherConfig {
     /// the best load balance; larger batches amortise queue traffic when obligations
     /// are uniformly tiny. Values are clamped to at least 1.
     pub granularity: usize,
+    /// Choose each obligation's prover order from its sequent's syntactic features
+    /// ([`router::route`]) instead of always using the global `order`. Routing is a
+    /// permutation of `order` — demoted provers still run as a fallback — so it changes
+    /// attempt counts and attribution, never which sequents are proved.
+    pub route: bool,
 }
 
 impl Default for DispatcherConfig {
-    /// The baseline configuration (sequential, hints on, cache on, granularity 1),
-    /// with [`DispatcherConfig::with_env_overrides`] applied on top so a whole test or
-    /// bench run can be switched to the parallel or uncached path from the environment.
+    /// The baseline configuration (sequential, hints on, cache on, routing on,
+    /// granularity 1), with [`DispatcherConfig::with_env_overrides`] applied on top so
+    /// a whole test or bench run can be switched to the parallel, uncached or unrouted
+    /// path from the environment.
     fn default() -> Self {
         DispatcherConfig::pinned(1, true, 1).with_env_overrides()
     }
@@ -304,9 +319,11 @@ impl Default for DispatcherConfig {
 
 impl DispatcherConfig {
     /// The baseline configuration with explicit scaling knobs and **no** environment
-    /// overrides. Benches and differential tests use this so their measurements and
-    /// comparisons mean what their names claim no matter how the process is invoked;
-    /// everything else should go through `Default` (which honours the environment).
+    /// overrides (routing stays at its production default, on; set
+    /// [`DispatcherConfig::route`] explicitly to ablate it). Benches and differential
+    /// tests use this so their measurements and comparisons mean what their names claim
+    /// no matter how the process is invoked; everything else should go through
+    /// `Default` (which honours the environment).
     pub fn pinned(threads: usize, cache: bool, granularity: usize) -> Self {
         DispatcherConfig {
             order: ProverId::default_order(),
@@ -314,43 +331,65 @@ impl DispatcherConfig {
             use_hints: true,
             cache,
             granularity,
+            route: true,
         }
     }
 
-    /// Applies the `JAHOB_THREADS`, `JAHOB_CACHE` and `JAHOB_GRANULARITY` environment
-    /// variables on top of `self` and returns the result. Unset or unparsable variables
-    /// leave the corresponding field untouched. `JAHOB_CACHE` accepts `1`/`on`/`true`/
-    /// `yes` and `0`/`off`/`false`/`no` (case-insensitive).
+    /// Applies the `JAHOB_THREADS`, `JAHOB_CACHE`, `JAHOB_GRANULARITY` and
+    /// `JAHOB_ROUTE` environment variables on top of `self` and returns the result.
+    /// Unset or unparsable variables leave the corresponding field untouched.
+    /// `JAHOB_CACHE` and `JAHOB_ROUTE` accept `1`/`on`/`true`/`yes` and
+    /// `0`/`off`/`false`/`no` (case-insensitive).
     ///
-    /// This is what lets CI exercise the work-stealing and cached paths on every push:
-    /// the test job re-runs the whole suite under `JAHOB_THREADS=4 JAHOB_CACHE=on`.
+    /// This is what lets CI exercise the work-stealing, cached and unrouted paths on
+    /// every push: the test job re-runs the whole suite under `JAHOB_THREADS=4
+    /// JAHOB_CACHE=on` and once more under `JAHOB_ROUTE=off` (guarding the global
+    /// fallback cascade).
     pub fn with_env_overrides(mut self) -> Self {
         if let Ok(v) = std::env::var("JAHOB_THREADS") {
             if let Ok(n) = v.trim().parse::<usize>() {
                 self.threads = n.max(1);
             }
         }
-        if let Ok(v) = std::env::var("JAHOB_CACHE") {
-            match v.trim().to_ascii_lowercase().as_str() {
-                "1" | "on" | "true" | "yes" => self.cache = true,
-                "0" | "off" | "false" | "no" => self.cache = false,
-                _ => {}
-            }
+        if let Some(cache) = env_switch("JAHOB_CACHE") {
+            self.cache = cache;
         }
         if let Ok(v) = std::env::var("JAHOB_GRANULARITY") {
             if let Ok(n) = v.trim().parse::<usize>() {
                 self.granularity = n.max(1);
             }
         }
+        if let Some(route) = env_switch("JAHOB_ROUTE") {
+            self.route = route;
+        }
         self
     }
 
-    /// A short stable description of the fields that can change a prover verdict
-    /// (order and hint usage), mixed into every cache key so entries written under one
-    /// configuration are never served to another.
+    /// A short stable description of the fields that can change a prover verdict or
+    /// the recorded attempt accounting (order, hint usage, routing), mixed into every
+    /// cache key so entries written under one configuration are never served to
+    /// another.
     fn fingerprint(&self) -> String {
         let order: Vec<&str> = self.order.iter().map(|p| p.display_name()).collect();
-        format!("order={}|hints={}", order.join(","), self.use_hints)
+        format!(
+            "order={}|hints={}|route={}",
+            order.join(","),
+            self.use_hints,
+            self.route
+        )
+    }
+}
+
+/// Parses an on/off environment switch: `Some(true)` for `1`/`on`/`true`/`yes`,
+/// `Some(false)` for `0`/`off`/`false`/`no` (case-insensitive), `None` otherwise.
+fn env_switch(name: &str) -> Option<bool> {
+    match std::env::var(name) {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "1" | "on" | "true" | "yes" => Some(true),
+            "0" | "off" | "false" | "no" => Some(false),
+            _ => None,
+        },
+        Err(_) => None,
     }
 }
 
@@ -364,6 +403,10 @@ pub struct ProverStats {
     /// Of `proved`, how many were answered from the result cache rather than by
     /// actually re-running this prover.
     pub cache_hits: usize,
+    /// Attempts the cascade *avoided* because the cache's negative side already knew
+    /// this prover fails on the canonicalized sequent. Not counted in `attempted` —
+    /// the prover never ran.
+    pub skipped: usize,
     /// Total time spent in this prover.
     pub time: Duration,
 }
@@ -394,6 +437,11 @@ impl VerificationReport {
     /// `true` if every sequent was proved.
     pub fn succeeded(&self) -> bool {
         self.proved_sequents == self.total_sequents
+    }
+
+    /// Total prover attempts avoided by the failure memo across all provers.
+    pub fn failure_skips(&self) -> usize {
+        self.per_prover.values().map(|s| s.skipped).sum()
     }
 
     /// Renders the report in the style of Figure 7 of the paper. When the result cache
@@ -435,6 +483,12 @@ impl VerificationReport {
                 100.0 * self.cache_hits as f64 / (self.cache_hits + self.cache_misses) as f64
             ));
         }
+        if self.failure_skips() > 0 {
+            out.push_str(&format!(
+                "Failure memo: {} dead prover attempts skipped.\n",
+                self.failure_skips()
+            ));
+        }
         if self.succeeded() {
             out.push_str(&format!("[{task_name}]\n0=== Verification SUCCEEDED.\n"));
         } else {
@@ -455,6 +509,7 @@ impl VerificationReport {
             entry.proved += s.proved;
             entry.attempted += s.attempted;
             entry.cache_hits += s.cache_hits;
+            entry.skipped += s.skipped;
             entry.time += s.time;
         }
         self.total_sequents += other.total_sequents;
@@ -653,13 +708,44 @@ impl Dispatcher {
         });
         let full = inline_definitions(&obligation.sequent);
         if !self.config.cache {
-            return self.prove_one_uncached(obligation, context, hinted.as_ref(), &full);
+            return self.prove_one_uncached(obligation, context, hinted.as_ref(), &full, None);
         }
-        let key = self.cache_key(obligation, context, hinted.as_ref(), &full);
+        // The canonical sequent keys and variable classifications are computed once
+        // and shared between the verdict cache key and the failure memo of the
+        // cascade below.
+        let full_key = SequentKey::of_inlined(&full);
+        let hinted_key = hinted.as_ref().map(SequentKey::of_inlined);
+        let full_classes = var_classes(context, &full);
+        let hinted_classes = hinted.as_ref().map(|h| var_classes(context, h));
+        let key = CacheKey {
+            sequent: full_key.clone(),
+            hinted: hinted_key.clone(),
+            var_classes: match hinted_classes.as_deref() {
+                Some(h) => format!("{full_classes}|{h}"),
+                None => full_classes.clone(),
+            },
+            lemma_registered: context.lemmas.contains(obligation),
+            config_fingerprint: self.config.fingerprint(),
+        };
         if let Some(outcome) = self.cache.lookup(&key) {
             return self.report_from_cache(obligation, outcome);
         }
-        let mut report = self.prove_one_uncached(obligation, context, hinted.as_ref(), &full);
+        let memo = FailureMemo {
+            cache: &self.cache,
+            full: FailureKey {
+                sequent: full_key,
+                var_classes: full_classes,
+            },
+            hinted: match (hinted_key, hinted_classes) {
+                (Some(sequent), Some(var_classes)) => Some(FailureKey {
+                    sequent,
+                    var_classes,
+                }),
+                _ => None,
+            },
+        };
+        let mut report =
+            self.prove_one_uncached(obligation, context, hinted.as_ref(), &full, Some(&memo));
         report.cache_misses = 1;
         let prover = report
             .per_prover
@@ -671,57 +757,28 @@ impl Dispatcher {
             .iter()
             .map(|(id, s)| (*id, s.attempted))
             .collect();
+        let skipped = report
+            .per_prover
+            .iter()
+            .filter(|(_, s)| s.skipped > 0)
+            .map(|(id, s)| (*id, s.skipped))
+            .collect();
         self.cache.insert(
             key,
             CachedOutcome {
                 proved: report.proved_sequents == 1,
                 prover,
                 attempted,
+                skipped,
             },
         );
         report
     }
 
-    /// Builds the cache lookup key for one obligation: the canonical full sequent, the
-    /// canonical hinted sequent (when one is attempted), the set/function classification
-    /// of the sequent's free variables, whether the interactive library knows the
-    /// obligation, and the dispatcher configuration fingerprint.
-    fn cache_key(
-        &self,
-        obligation: &ProofObligation,
-        context: &ProverContext,
-        hinted: Option<&jahob_logic::Sequent>,
-        full: &jahob_logic::Sequent,
-    ) -> CacheKey {
-        let mut vars = full.free_vars();
-        if let Some(h) = hinted {
-            vars.extend(h.free_vars());
-        }
-        let mut classes = String::new();
-        for v in &vars {
-            if context.set_vars.contains(v) {
-                classes.push_str("S:");
-                classes.push_str(v);
-                classes.push(';');
-            }
-            if context.fun_vars.contains(v) {
-                classes.push_str("F:");
-                classes.push_str(v);
-                classes.push(';');
-            }
-        }
-        CacheKey {
-            sequent: SequentKey::of_inlined(full),
-            hinted: hinted.map(SequentKey::of_inlined),
-            var_classes: classes,
-            lemma_registered: context.lemmas.contains(obligation),
-            config_fingerprint: self.config.fingerprint(),
-        }
-    }
-
-    /// Materialises a per-obligation report from a cached verdict: the attempted
-    /// counts of the original run are replayed (with zero time) and the original
-    /// prover is credited, so Figure 7/15 attributions agree with an uncached run.
+    /// Materialises a per-obligation report from a cached verdict: the attempted and
+    /// skipped counts of the original run are replayed (with zero time) and the
+    /// original prover is credited, so Figure 7/15 attributions agree with an uncached
+    /// run.
     fn report_from_cache(
         &self,
         obligation: &ProofObligation,
@@ -734,6 +791,9 @@ impl Dispatcher {
         };
         for (prover, attempted) in &outcome.attempted {
             report.per_prover.entry(*prover).or_default().attempted += attempted;
+        }
+        for (prover, skipped) in &outcome.skipped {
+            report.per_prover.entry(*prover).or_default().skipped += skipped;
         }
         if outcome.proved {
             report.proved_sequents = 1;
@@ -748,57 +808,132 @@ impl Dispatcher {
         report
     }
 
-    /// Attempts one obligation with each prover in order; the first success wins.
-    /// `hinted` is the inlined hint-filtered sequent (tried first when present) and
-    /// `full` the inlined full sequent.
+    /// The prover order for one attempted sequent: the feature-routed permutation of
+    /// the global order when routing is on, the global order itself otherwise.
+    fn attempt_order(&self, sequent: &jahob_logic::Sequent) -> Vec<ProverId> {
+        if self.config.route {
+            router::route(&SequentFeatures::of(sequent), &self.config.order)
+        } else {
+            self.config.order.clone()
+        }
+    }
+
+    /// Attempts one obligation with each prover in (routed) order; the first success
+    /// wins. `hinted` is the inlined hint-filtered sequent (tried first when present)
+    /// and `full` the inlined full sequent. `memo` carries the failure-memo handles
+    /// when the cache is enabled: attempts the negative cache already knows dead are
+    /// skipped (counted per prover in [`ProverStats::skipped`]), and fresh failures
+    /// are recorded.
     fn prove_one_uncached(
         &self,
         obligation: &ProofObligation,
         context: &ProverContext,
         hinted: Option<&jahob_logic::Sequent>,
         full: &jahob_logic::Sequent,
+        memo: Option<&FailureMemo<'_>>,
     ) -> VerificationReport {
         let mut report = VerificationReport {
             total_sequents: 1,
             ..VerificationReport::default()
         };
         let sequent = hinted.unwrap_or(full);
-        for prover in &self.config.order {
-            let start = Instant::now();
-            let proved = attempt(*prover, sequent, obligation, context);
-            let elapsed = start.elapsed();
-            let stats = report.per_prover.entry(*prover).or_default();
-            stats.attempted += 1;
-            stats.time += elapsed;
-            if proved {
-                stats.proved += 1;
-                report.proved_sequents = 1;
-                return report;
-            }
+        // Each phase's attempt site key was built once in `prove_one`; every prover of
+        // the phase borrows the same key (the failure map stores per-prover bits).
+        let phase_memo = memo.map(|m| (m.cache, m.hinted.as_ref().unwrap_or(&m.full)));
+        if self.cascade(&mut report, sequent, obligation, context, phase_memo, false) {
+            return report;
         }
         // When hints narrowed the sequent and nothing succeeded, retry the provers with
         // the full assumption set (the hints are advice, not a restriction).
         if hinted.is_some() {
-            for prover in &self.config.order {
-                if matches!(prover, ProverId::Syntactic) {
-                    continue;
-                }
-                let start = Instant::now();
-                let proved = attempt(*prover, full, obligation, context);
-                let elapsed = start.elapsed();
-                let stats = report.per_prover.entry(*prover).or_default();
-                stats.attempted += 1;
-                stats.time += elapsed;
-                if proved {
-                    stats.proved += 1;
-                    report.proved_sequents = 1;
-                    return report;
-                }
+            let retry_memo = memo.map(|m| (m.cache, &m.full));
+            if self.cascade(&mut report, full, obligation, context, retry_memo, true) {
+                return report;
             }
         }
         report.unproved.push(obligation.sequent.describe());
         report
     }
+
+    /// Runs one prover cascade over `sequent`, accumulating per-prover stats into
+    /// `report`; returns `true` on the first success. With `memo` present (the shared
+    /// cache and this phase's attempt-site key), attempts known to fail are skipped
+    /// and fresh failures recorded (the interactive prover is exempt: its verdict
+    /// depends on the obligation's label path and the lemma library, not on the
+    /// sequent alone).
+    fn cascade(
+        &self,
+        report: &mut VerificationReport,
+        sequent: &jahob_logic::Sequent,
+        obligation: &ProofObligation,
+        context: &ProverContext,
+        memo: Option<(&SequentCache, &FailureKey)>,
+        skip_syntactic: bool,
+    ) -> bool {
+        // One lock + hash fetches the phase's whole failure mask; each prover then
+        // tests its own bit locally.
+        let failed_mask = memo.map_or(0, |(cache, site)| cache.failed_mask(site));
+        for prover in self.attempt_order(sequent) {
+            if skip_syntactic && matches!(prover, ProverId::Syntactic) {
+                continue;
+            }
+            let memoized = match memo {
+                Some((cache, site)) if prover != ProverId::Interactive => Some((cache, site)),
+                _ => None,
+            };
+            if let Some((cache, _)) = memoized {
+                if cache::mask_contains(failed_mask, prover) {
+                    cache.note_failure_hit();
+                    report.per_prover.entry(prover).or_default().skipped += 1;
+                    continue;
+                }
+            }
+            let start = Instant::now();
+            let proved = attempt(prover, sequent, obligation, context);
+            let elapsed = start.elapsed();
+            let stats = report.per_prover.entry(prover).or_default();
+            stats.attempted += 1;
+            stats.time += elapsed;
+            if proved {
+                stats.proved += 1;
+                report.proved_sequents = 1;
+                return true;
+            }
+            if let Some((cache, site)) = memoized {
+                cache.record_failure(site, prover);
+            }
+        }
+        false
+    }
+}
+
+/// The failure-memo handles of one obligation's cascade: the shared cache plus the
+/// attempt-site keys of the two sequents the cascade can attempt (the hinted variant,
+/// then the full sequent on retry), each built once per obligation.
+struct FailureMemo<'a> {
+    cache: &'a SequentCache,
+    full: FailureKey,
+    hinted: Option<FailureKey>,
+}
+
+/// The set/function classification of the free variables of `sequent` under `context`
+/// — part of every cache key, because the classification steers the SMT/FOL
+/// translations.
+fn var_classes(context: &ProverContext, sequent: &jahob_logic::Sequent) -> String {
+    let mut classes = String::new();
+    for v in &sequent.free_vars() {
+        if context.set_vars.contains(v) {
+            classes.push_str("S:");
+            classes.push_str(v);
+            classes.push(';');
+        }
+        if context.fun_vars.contains(v) {
+            classes.push_str("F:");
+            classes.push_str(v);
+            classes.push(';');
+        }
+    }
+    classes
 }
 
 /// Runs a single prover on a sequent.
@@ -1092,6 +1227,102 @@ mod tests {
         let dispatcher = Dispatcher::with_config(DispatcherConfig::pinned(1, true, 1));
         let report = dispatcher.prove_all(&batch);
         assert_eq!(report.aggregate().cache_hits, 1);
+    }
+
+    #[test]
+    fn router_miss_falls_back_to_the_global_cascade() {
+        // Pure arithmetic scores both MONA and BAPA hopeless (no membership atoms, no
+        // set algebra), so with `order = [Mona, Bapa]` the routed primary cascade is
+        // empty and both provers run in the fallback tail — where BAPA, handed a
+        // sequent it can actually decide (pure Presburger), still proves it. A router
+        // that *dropped* hopeless provers instead of demoting them would report this
+        // sequent unproved.
+        let mut config = DispatcherConfig::pinned(1, false, 1);
+        config.order = vec![ProverId::Mona, ProverId::Bapa];
+        config.route = true;
+        let dispatcher = Dispatcher::with_config(config);
+        let o = ob(&["0 <= x"], "0 <= x + 1");
+        let report = dispatcher.prove_one(&o, &ProverContext::default());
+        assert!(
+            report.succeeded(),
+            "fallback cascade must still run on a router miss: {report:?}"
+        );
+        assert_eq!(report.per_prover[&ProverId::Bapa].proved, 1);
+        // And the routed run proves exactly what the unrouted one does.
+        let mut unrouted = DispatcherConfig::pinned(1, false, 1);
+        unrouted.order = vec![ProverId::Mona, ProverId::Bapa];
+        unrouted.route = false;
+        let baseline = Dispatcher::with_config(unrouted).prove_one(&o, &ProverContext::default());
+        assert_eq!(report.proved_sequents, baseline.proved_sequents);
+    }
+
+    #[test]
+    fn routing_reorders_but_never_changes_verdicts() {
+        let obs = vec![
+            ob(&["p"], "p"),
+            ob(&["x = y + 1", "0 <= y"], "1 <= x"),
+            ob(
+                &[
+                    "size = card content",
+                    "x ~: content",
+                    "content1 = content Un {x}",
+                ],
+                "size + 1 = card content1",
+            ),
+            ob(&["p"], "q"),
+        ];
+        let context = ProverContext::default();
+        let mut routed_config = DispatcherConfig::pinned(1, false, 1);
+        routed_config.route = true;
+        let mut unrouted_config = routed_config.clone();
+        unrouted_config.route = false;
+        let routed = Dispatcher::with_config(routed_config).prove_obligations(&obs, &context);
+        let unrouted = Dispatcher::with_config(unrouted_config).prove_obligations(&obs, &context);
+        assert_eq!(routed.proved_sequents, unrouted.proved_sequents);
+        assert_eq!(routed.unproved, unrouted.unproved);
+        // Routing spares MONA the cardinality sequent it cannot decide: fewer MONA
+        // attempts than the fixed global order pays.
+        let mona_attempts = |r: &VerificationReport| {
+            r.per_prover
+                .get(&ProverId::Mona)
+                .map(|s| s.attempted)
+                .unwrap_or(0)
+        };
+        assert!(
+            mona_attempts(&routed) < mona_attempts(&unrouted),
+            "routed: {routed:?}\nunrouted: {unrouted:?}"
+        );
+    }
+
+    #[test]
+    fn failure_memo_skips_repeated_dead_attempts() {
+        // Two obligations share the same (unprovable) full sequent but carry different
+        // hints, so their verdict cache keys differ and the second misses the positive
+        // cache — yet its full-sequent retry skips every prover the first obligation
+        // already saw fail on that canonical sequent.
+        let mut first = ob(&["comment ''a'' (p = q)", "comment ''b'' (q = s)"], "r = t");
+        first.hints = vec!["a".to_string()];
+        let mut second = first.clone();
+        second.hints = vec!["b".to_string()];
+        let dispatcher = Dispatcher::with_config(DispatcherConfig::pinned(1, true, 1));
+        let context = ProverContext::default();
+        let r1 = dispatcher.prove_one(&first, &context);
+        assert!(!r1.succeeded());
+        assert_eq!(r1.failure_skips(), 0, "first cascade has nothing to skip");
+        let r2 = dispatcher.prove_one(&second, &context);
+        assert!(!r2.succeeded());
+        assert!(
+            r2.failure_skips() >= 3,
+            "the full-sequent retry must skip the memoized failures: {r2:?}"
+        );
+        assert!(dispatcher.cache().stats().failure_hits >= 3);
+        // Skipped attempts are not counted as attempted.
+        for (id, stats) in &r2.per_prover {
+            assert!(
+                stats.skipped == 0 || stats.attempted < r1.per_prover[id].attempted,
+                "{id}: skipped attempts must reduce the attempted count"
+            );
+        }
     }
 
     #[test]

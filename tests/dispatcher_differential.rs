@@ -1,10 +1,11 @@
 //! Differential test for the dispatcher's scaling mechanisms.
 //!
-//! The work-stealing parallel dispatch, the canonical-form result cache and the
-//! program-wide obligation batching are pure optimisations: they must not change
-//! *what* gets proved, only how fast. This harness runs the full §7 example suite
-//! under every combination of `{threads = 1, 2, 4, 8} x {cache on, off}` (plus a
-//! coarser work-queue granularity) and asserts that every configuration proves the
+//! The work-stealing parallel dispatch, the canonical-form result cache (with its
+//! negative failure-memo side), per-sequent prover routing and the program-wide
+//! obligation batching are pure optimisations: they must not change *what* gets
+//! proved, only how fast. This harness runs the full §7 example suite under every
+//! combination of `{threads = 1, 2, 4, 8} x {cache on, off} x {route on, off}` (plus
+//! a coarser work-queue granularity) and asserts that every configuration proves the
 //! identical set of sequents per method, and reports the `unproved` descriptions in
 //! the identical, deterministic order — and that the batched whole-program dispatch
 //! (`verify_program`: one tagged `prove_all` per program) is indistinguishable from
@@ -31,6 +32,12 @@ fn options(threads: usize, cache: bool, granularity: usize) -> VerifyOptions {
         dispatcher: jahob::DispatcherConfig::pinned(threads, cache, granularity),
         ..VerifyOptions::default()
     }
+}
+
+fn options_routed(threads: usize, cache: bool, route: bool) -> VerifyOptions {
+    let mut opts = options(threads, cache, 1);
+    opts.dispatcher.route = route;
+    opts
 }
 
 fn verdict_of(structure: &str, result: &jahob::MethodResult) -> MethodVerdict {
@@ -168,6 +175,70 @@ fn batched_and_per_method_reports_agree_exactly_when_single_threaded() {
             "cache={cache}: single-threaded batched reports diverged from per-method reports"
         );
     }
+}
+
+#[test]
+fn routing_on_and_off_prove_the_same_sequents_across_the_matrix() {
+    // Per-sequent routing is a permutation of the global cascade order (hopeless
+    // provers are demoted to a fallback tail, never dropped), so whether a sequent is
+    // proved — and therefore the `unproved` list and its deterministic order — must be
+    // identical with routing on and off, for every thread count and cache setting.
+    // What routing may change is attribution (which prover is credited) and the
+    // attempt counts; those are deliberately not compared here.
+    for threads in [1usize, 2, 4, 8] {
+        for cache in [false, true] {
+            let routed = run_full_suite(&options_routed(threads, cache, true));
+            let unrouted = run_full_suite(&options_routed(threads, cache, false));
+            assert_eq!(
+                routed, unrouted,
+                "threads={threads} cache={cache}: routing changed the proved sequent set"
+            );
+        }
+    }
+}
+
+#[test]
+fn failure_memo_skips_dead_attempts_on_retried_suites() {
+    // Within one suite pass the positive (verdict) cache answers recurring
+    // obligations outright, so the negative side earns its keep on *retried* runs
+    // whose verdict keys differ — here, a routed pass followed by an unrouted pass
+    // sharing one cache (the config fingerprint keys them apart). The second pass
+    // misses the verdict cache but skips every prover attempt the first pass already
+    // saw fail on the same canonical sequent; verdicts must stay identical.
+    let lemmas = jahob_repro::provers::LemmaLibrary::new();
+    let routed = Dispatcher::with_config(options_routed(1, true, true).dispatcher);
+    let first = jahob::run_suite_with(&routed, &lemmas);
+    let mut unrouted = routed.clone();
+    unrouted.config.route = false;
+    let second = jahob::run_suite_with(&unrouted, &lemmas);
+    let stats = unrouted.cache().stats();
+    // Printed so EXPERIMENTS.md refreshes can quote the memo numbers:
+    // `cargo test --release --test dispatcher_differential failure_memo -- --nocapture`.
+    println!(
+        "retried suite: {} failure-memo hits, {} memoized failures, {} verdict hits / {} misses",
+        stats.failure_hits,
+        unrouted.cache().failure_len(),
+        stats.hits,
+        stats.misses
+    );
+    assert!(
+        stats.failure_hits > 0,
+        "the unrouted retry must skip attempts the routed pass saw fail: {stats:?}"
+    );
+    assert!(unrouted.cache().failure_len() > 0);
+    let proved = |rows: &[jahob::SuiteRow]| -> Vec<(String, usize, usize)> {
+        rows.iter()
+            .map(|r| (r.name.clone(), r.proved_sequents, r.total_sequents))
+            .collect()
+    };
+    assert_eq!(proved(&first), proved(&second));
+    // The skips surface in the retried pass's per-prover accounting (and hence in the
+    // Figure 15 attempts column).
+    let skipped = jahob::suite_failure_skips(&second);
+    assert!(
+        skipped > 0,
+        "skipped attempts must be attributed per prover"
+    );
 }
 
 #[test]

@@ -6,7 +6,18 @@
 //! benches call, [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
 //! macros. Timing is a straightforward warm-up + fixed-sample mean/min/max measurement
 //! printed to stdout; there is no statistical analysis, plotting or HTML report.
+//!
+//! Beyond the real criterion API, the shim emits a **machine-readable result file**:
+//! after the groups of a bench binary finish, [`criterion_main!`] merges every
+//! `bench_function` measurement (plus any [`record_metric`] values the benches
+//! reported, e.g. suite proved/total counts) into `BENCH_results.json` at the
+//! workspace root (override the path with `JAHOB_BENCH_OUT`). Entries are merged
+//! name-by-name across bench binaries and runs, so one `cargo bench` sweep produces a
+//! single file and re-running one harness refreshes only its own entries — the bench
+//! trajectory CI and EXPERIMENTS.md track across PRs.
 
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export of the standard opaque value barrier, matching `criterion::black_box`.
@@ -106,8 +117,222 @@ impl Criterion {
             max,
             per_iter.len()
         );
+        registry().lock().expect("bench registry").benches.push((
+            id.as_ref().to_string(),
+            BenchRecord {
+                mean_ns: mean.as_nanos() as u64,
+                min_ns: min.as_nanos() as u64,
+                max_ns: max.as_nanos() as u64,
+                samples: per_iter.len() as u64,
+            },
+        ));
         self
     }
+}
+
+/// One `bench_function` measurement as written to `BENCH_results.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BenchRecord {
+    mean_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    samples: u64,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    benches: Vec<(String, BenchRecord)>,
+    metrics: Vec<(String, f64)>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+        benches: Vec::new(),
+        metrics: Vec::new(),
+    });
+    &REGISTRY
+}
+
+/// Records a named scalar metric (e.g. `suite_proved`, `suite_cache_hits`) alongside
+/// the timing results; written to the `metrics` section of `BENCH_results.json`.
+pub fn record_metric(name: impl AsRef<str>, value: f64) {
+    registry()
+        .lock()
+        .expect("bench registry")
+        .metrics
+        .push((name.as_ref().to_string(), value));
+}
+
+/// The output path for [`write_results`]: `$JAHOB_BENCH_OUT` when set, otherwise
+/// `BENCH_results.json` next to the nearest enclosing `Cargo.lock` (the workspace
+/// root — cargo runs bench binaries with the *package* directory as CWD), falling
+/// back to the current directory.
+fn results_path() -> PathBuf {
+    if let Ok(path) = std::env::var("JAHOB_BENCH_OUT") {
+        return PathBuf::from(path);
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("BENCH_results.json");
+        }
+        if !dir.pop() {
+            return PathBuf::from("BENCH_results.json");
+        }
+    }
+}
+
+/// Writes (merging) this binary's measurements and metrics into the results file.
+/// Called automatically by the `main` that [`criterion_main!`] generates; a write
+/// failure prints a warning instead of failing the bench run.
+pub fn write_results() {
+    let path = results_path();
+    if let Err(e) = write_results_to(&path) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+/// [`write_results`] to an explicit path (exposed for the shim's own tests).
+pub fn write_results_to(path: &Path) -> std::io::Result<()> {
+    let registry = registry().lock().expect("bench registry");
+    let mut benches: Vec<(String, BenchRecord)> = Vec::new();
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        let (b, m) = parse_results(&existing);
+        benches = b;
+        metrics = m;
+    }
+    for (name, record) in &registry.benches {
+        upsert(&mut benches, name, *record);
+    }
+    for (name, value) in &registry.metrics {
+        upsert(&mut metrics, name, *value);
+    }
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"jahob-bench-results/1\",\n  \"benches\": {\n");
+    for (i, (name, r)) in benches.iter().enumerate() {
+        let comma = if i + 1 < benches.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    \"{}\": {{\"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"samples\": {}}}{}\n",
+            escape(name),
+            r.mean_ns,
+            r.min_ns,
+            r.max_ns,
+            r.samples,
+            comma
+        ));
+    }
+    out.push_str("  },\n  \"metrics\": {\n");
+    for (i, (name, v)) in metrics.iter().enumerate() {
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        out.push_str(&format!("    \"{}\": {}{}\n", escape(name), v, comma));
+    }
+    out.push_str("  }\n}\n");
+    std::fs::write(path, out)
+}
+
+fn upsert<T: Copy>(entries: &mut Vec<(String, T)>, name: &str, value: T) {
+    match entries.iter_mut().find(|(n, _)| n == name) {
+        Some((_, v)) => *v = value,
+        None => entries.push((name.to_string(), value)),
+    }
+}
+
+fn escape(name: &str) -> String {
+    name.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn unescape(name: &str) -> String {
+    name.replace("\\\"", "\"").replace("\\\\", "\\")
+}
+
+/// Parses a results file previously produced by [`write_results_to`]. The writer emits
+/// exactly one entry per line, so a line-oriented scan suffices: bench lines look like
+/// `"name": {"mean_ns": N, "min_ns": N, "max_ns": N, "samples": N}` and metric lines
+/// like `"name": V`. Anything unrecognised is ignored (the file is then rewritten in
+/// the canonical shape).
+type ParsedResults = (Vec<(String, BenchRecord)>, Vec<(String, f64)>);
+
+fn parse_results(text: &str) -> ParsedResults {
+    let mut benches = Vec::new();
+    let mut metrics = Vec::new();
+    let mut in_benches = false;
+    let mut in_metrics = false;
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if line.starts_with("\"benches\"") {
+            in_benches = true;
+            in_metrics = false;
+            continue;
+        }
+        if line.starts_with("\"metrics\"") {
+            in_metrics = true;
+            in_benches = false;
+            continue;
+        }
+        if line == "}" || line == "}," {
+            in_benches = false;
+            in_metrics = false;
+            continue;
+        }
+        let Some((raw_name, rest)) = split_entry(line) else {
+            continue;
+        };
+        let name = unescape(&raw_name);
+        if in_benches {
+            if let Some(record) = parse_record(rest) {
+                upsert(&mut benches, &name, record);
+            }
+        } else if in_metrics {
+            if let Ok(v) = rest.trim().parse::<f64>() {
+                upsert(&mut metrics, &name, v);
+            }
+        }
+    }
+    (benches, metrics)
+}
+
+/// Splits a `"name": value` line into the raw (still escaped) name and the value text.
+fn split_entry(line: &str) -> Option<(String, &str)> {
+    let rest = line.strip_prefix('"')?;
+    // Find the closing quote, honouring backslash escapes.
+    let mut end = None;
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        if escaped {
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            end = Some(i);
+            break;
+        }
+    }
+    let end = end?;
+    let value = rest[end + 1..].trim().strip_prefix(':')?;
+    Some((rest[..end].to_string(), value.trim()))
+}
+
+fn parse_record(text: &str) -> Option<BenchRecord> {
+    let fields = text.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut record = BenchRecord {
+        mean_ns: 0,
+        min_ns: 0,
+        max_ns: 0,
+        samples: 0,
+    };
+    for field in fields.split(',') {
+        let (key, value) = field.split_once(':')?;
+        let value = value.trim().parse::<u64>().ok()?;
+        match key.trim().trim_matches('"') {
+            "mean_ns" => record.mean_ns = value,
+            "min_ns" => record.min_ns = value,
+            "max_ns" => record.max_ns = value,
+            "samples" => record.samples = value,
+            _ => return None,
+        }
+    }
+    Some(record)
 }
 
 /// Passed to the benchmark closure; call [`Bencher::iter`] with the routine to time.
@@ -162,12 +387,103 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the benchmark `main` that runs the listed groups.
+/// Declares the benchmark `main` that runs the listed groups, then merges the
+/// collected measurements into `BENCH_results.json` (see [`write_results`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_results();
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_file_round_trips_and_merges() {
+        let dir = std::env::temp_dir().join(format!("criterion_shim_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_results.json");
+        let _ = std::fs::remove_file(&path);
+
+        // Seed the file with one bench and one metric from a "previous binary".
+        std::fs::write(
+            &path,
+            concat!(
+                "{\n  \"schema\": \"jahob-bench-results/1\",\n  \"benches\": {\n",
+                "    \"suite/old\": {\"mean_ns\": 42, \"min_ns\": 40, \"max_ns\": 44, \"samples\": 10}\n",
+                "  },\n  \"metrics\": {\n    \"suite_proved\": 152\n  }\n}\n"
+            ),
+        )
+        .expect("seed file");
+
+        {
+            let mut registry = registry().lock().expect("bench registry");
+            registry.benches.clear();
+            registry.metrics.clear();
+            registry.benches.push((
+                "fig7/new".to_string(),
+                BenchRecord {
+                    mean_ns: 7,
+                    min_ns: 6,
+                    max_ns: 8,
+                    samples: 3,
+                },
+            ));
+            registry.metrics.push(("suite_proved".to_string(), 153.0));
+        }
+        write_results_to(&path).expect("write merged results");
+
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let (benches, metrics) = parse_results(&text);
+        assert_eq!(benches.len(), 2, "old entry kept, new entry added: {text}");
+        assert_eq!(
+            benches
+                .iter()
+                .find(|(n, _)| n == "suite/old")
+                .map(|(_, r)| r.mean_ns),
+            Some(42)
+        );
+        assert_eq!(
+            benches
+                .iter()
+                .find(|(n, _)| n == "fig7/new")
+                .map(|(_, r)| r.samples),
+            Some(3)
+        );
+        assert_eq!(metrics, vec![("suite_proved".to_string(), 153.0)]);
+
+        // The file is well-formed for downstream JSON consumers: balanced braces, a
+        // schema marker, and the sections CI greps for.
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+        assert!(text.contains("\"schema\": \"jahob-bench-results/1\""));
+        assert_eq!(
+            text.matches('{').count(),
+            text.matches('}').count(),
+            "unbalanced braces: {text}"
+        );
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+        let mut registry = registry().lock().expect("bench registry");
+        registry.benches.clear();
+        registry.metrics.clear();
+    }
+
+    #[test]
+    fn entry_lines_split_and_parse() {
+        let (name, rest) = split_entry(
+            "\"ablation/route_on\": {\"mean_ns\": 1, \"min_ns\": 1, \"max_ns\": 2, \"samples\": 5}",
+        )
+        .expect("entry splits");
+        assert_eq!(name, "ablation/route_on");
+        let record = parse_record(rest).expect("record parses");
+        assert_eq!((record.mean_ns, record.samples), (1, 5));
+        assert!(split_entry("},").is_none());
+        assert_eq!(unescape(&escape("a\"b\\c")), "a\"b\\c");
+    }
 }

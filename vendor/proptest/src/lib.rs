@@ -10,12 +10,16 @@
 //! Differences from real proptest:
 //! - only minimal shrinking: integers halve toward the range start (and decrement),
 //!   booleans shrink to `false`, vectors drop or shrink elements, and tuples shrink
-//!   component-wise. Values produced through `prop_map`/`prop_flat_map`/`prop_oneof!`
-//!   do not shrink (the shim keeps no reverse mapping), so a failing case there
-//!   reports the originally generated value;
+//!   component-wise. `prop_map`ped values shrink by shrinking the *input* and
+//!   re-applying the mapping closure (the strategy remembers which input produced
+//!   each output it handed out, which is why mapped outputs must be
+//!   `Clone + PartialEq`). Values produced through `prop_flat_map`/`prop_oneof!`
+//!   still do not shrink (those combinators keep no reverse mapping), so a failing
+//!   case there reports the originally generated value;
 //! - generation is fully deterministic (splitmix64 keyed by test case index), so CI
 //!   failures always reproduce locally.
 
+use std::cell::RefCell;
 use std::ops::{Range, RangeInclusive};
 use std::rc::Rc;
 
@@ -122,13 +126,21 @@ pub trait Strategy {
         Vec::new()
     }
 
-    /// Maps generated values through `f`.
-    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    /// Maps generated values through `f`. The mapped strategy shrinks by shrinking
+    /// the *input* value and re-applying `f`, so `O` must be `Clone + PartialEq`
+    /// (to recognise which previously produced output is being shrunk).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, O, F>
     where
-        Self: Sized,
+        Self: Sized + Strategy,
+        Self::Value: Clone,
+        O: Clone + PartialEq,
         F: Fn(Self::Value) -> O,
     {
-        Map { inner: self, f }
+        Map {
+            inner: self,
+            f,
+            memo: RefCell::new(Vec::new()),
+        }
     }
 
     /// Generates a value, then generates from the strategy `f` returns for it.
@@ -225,20 +237,90 @@ impl<T: Clone> Strategy for Just<T> {
 }
 
 /// See [`Strategy::prop_map`].
-#[derive(Debug, Clone)]
-pub struct Map<S, F> {
+///
+/// The strategy remembers which input produced each output it handed out (bounded, in
+/// a `RefCell`), which is what lets [`Strategy::shrink`] *forward shrinks through the
+/// mapping closure*: the failing output is looked up, its input is shrunk with the
+/// inner strategy, and every candidate input is re-mapped through `f`.
+pub struct Map<S: Strategy, O, F> {
     inner: S,
     f: F,
+    memo: RefCell<Vec<(S::Value, O)>>,
 }
 
-impl<S, O, F> Strategy for Map<S, F>
+/// Upper bound on remembered (input, output) pairs per `Map`; old entries are evicted
+/// first. Lookup misses merely stop shrinking at this combinator, so eviction is safe.
+const MAP_MEMO_CAP: usize = 1024;
+
+impl<S, O, F> Clone for Map<S, O, F>
+where
+    S: Strategy + Clone,
+    F: Clone,
+{
+    fn clone(&self) -> Self {
+        Map {
+            inner: self.inner.clone(),
+            f: self.f.clone(),
+            memo: RefCell::new(Vec::new()),
+        }
+    }
+}
+
+impl<S: Strategy, O, F> std::fmt::Debug for Map<S, O, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Map")
+    }
+}
+
+impl<S, O, F> Strategy for Map<S, O, F>
 where
     S: Strategy,
+    S::Value: Clone,
+    O: Clone + PartialEq,
     F: Fn(S::Value) -> O,
 {
     type Value = O;
     fn generate(&self, rng: &mut TestRng) -> O {
-        (self.f)(self.inner.generate(rng))
+        let input = self.inner.generate(rng);
+        let output = (self.f)(input.clone());
+        self.remember(input, output.clone());
+        output
+    }
+    fn shrink(&self, value: &O) -> Vec<O> {
+        // Find the input that produced `value` (newest first, so a value reached by
+        // shrinking resolves to its own input, not an earlier identical output).
+        let input = self
+            .memo
+            .borrow()
+            .iter()
+            .rev()
+            .find(|(_, output)| output == value)
+            .map(|(input, _)| input.clone());
+        let Some(input) = input else {
+            return Vec::new();
+        };
+        self.inner
+            .shrink(&input)
+            .into_iter()
+            .map(|candidate| {
+                let output = (self.f)(candidate.clone());
+                self.remember(candidate, output.clone());
+                output
+            })
+            .collect()
+    }
+}
+
+impl<S, O, F> Map<S, O, F>
+where
+    S: Strategy,
+{
+    fn remember(&self, input: S::Value, output: O) {
+        let mut memo = self.memo.borrow_mut();
+        if memo.len() >= MAP_MEMO_CAP {
+            memo.drain(..MAP_MEMO_CAP / 2);
+        }
+        memo.push((input, output));
     }
 }
 
@@ -790,6 +872,46 @@ mod tests {
         assert!(
             message.contains("minimal failing input (after shrinking): (17,)"),
             "unexpected report: {message}"
+        );
+    }
+
+    #[test]
+    fn map_shrinks_through_the_closure() {
+        let strategy = (0u32..1000).prop_map(|x| x * 2 + 1);
+        let value = strategy.generate(&mut TestRng::for_case(7, 0));
+        // Shrink candidates are the mapped images of the input's shrink candidates —
+        // all odd, all smaller than the value (for a monotone mapping).
+        let candidates = strategy.shrink(&value);
+        assert!(
+            !candidates.is_empty() || value == 1,
+            "mapped values must shrink"
+        );
+        assert!(candidates.iter().all(|c| c % 2 == 1), "{candidates:?}");
+        assert!(candidates.contains(&1), "most aggressive candidate maps 0");
+        // A value the strategy never produced cannot be resolved to an input.
+        assert!(strategy.shrink(&999_999).is_empty());
+    }
+
+    // A deliberately failing property through `prop_map` (fails for inputs >= 17,
+    // i.e. outputs >= 35): the shrink must walk through the mapping closure and
+    // report the mapped boundary value, not the original random output.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        fn mapped_shrinks_to_the_boundary(x in (0u32..100_000).prop_map(|x| 2 * x + 1)) {
+            prop_assert!(x < 35, "x = {x} is too big");
+        }
+    }
+
+    #[test]
+    fn mapped_failing_cases_report_a_minimal_counterexample() {
+        let panic = std::panic::catch_unwind(mapped_shrinks_to_the_boundary)
+            .expect_err("the property must fail");
+        let message = panic
+            .downcast_ref::<String>()
+            .expect("panic carries a formatted message");
+        assert!(
+            message.contains("minimal failing input (after shrinking): (35,)"),
+            "prop_map shrinking should reach the mapped boundary 2*17+1: {message}"
         );
     }
 }
