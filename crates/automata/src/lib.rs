@@ -3,7 +3,8 @@
 //! Explicit-state finite automata over multi-track binary alphabets: the substrate for
 //! the WS1S (monadic second-order logic over finite strings) decision procedure in
 //! `jahob-mona`, which plays the role of MONA in the Jahob reproduction (§6.4 of
-//! *Full Functional Verification of Linked Data Structures*, PLDI 2008).
+//! *Full Functional Verification of Linked Data Structures*, PLDI 2008). See
+//! `docs/ARCHITECTURE.md` for the crate's place in the 12-crate graph.
 //!
 //! Words assign a bit to each of `k` tracks at every position; a symbol is an integer in
 //! `0..2^k`. Deterministic automata ([`Dfa`]) support complement, product (intersection

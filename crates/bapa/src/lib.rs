@@ -14,7 +14,10 @@
 //! negation to the Presburger solver in `jahob-arith`. An `Unsat` answer for the
 //! negation proves the sequent.
 //!
-//! Atoms outside the BAPA fragment are approximated away by polarity (Figure 14), so
+//! Quantified assumptions are dropped before translation (BAPA is quantifier-free;
+//! an `inst`-hinted obligation is decided from its ground instance — see
+//! `jahob_provers::inst` and `docs/SPEC_LANGUAGE.md`), and
+//! atoms outside the BAPA fragment are approximated away by polarity (Figure 14), so
 //! the prover is sound and simply declines sequents it cannot strengthen usefully.
 //!
 //! # Example
@@ -40,7 +43,7 @@
 
 use jahob_arith::{check_with_limits, Constraint, Limits, LinExpr, Outcome, VarId};
 use jahob_logic::approx::{approximate_implication, Polarity};
-use jahob_logic::form::{Const, Form};
+use jahob_logic::form::{Binder, Const, Form};
 use jahob_logic::simplify::{nnf, simplify};
 use jahob_logic::Sequent;
 use std::collections::BTreeMap;
@@ -78,8 +81,17 @@ pub struct BapaResult {
 /// Attempts to prove a sequent using the BAPA decision procedure.
 pub fn prove_sequent(sequent: &Sequent, options: &BapaOptions) -> BapaResult {
     let sequent = sequent.without_comments();
-    // Approximate into the BAPA fragment.
-    let assumptions: Vec<Form> = sequent.assumptions.iter().map(simplify).collect();
+    // Approximate into the BAPA fragment. Quantified assumptions are dropped first:
+    // BAPA is quantifier-free, the constraint builder would reject the whole sequent
+    // on meeting one, and discarding an assumption only weakens the premise set (it
+    // can never prove more) — so a sequent whose universal assumption was specialised
+    // by a `by inst` hint is decided from the ground instance alone.
+    let assumptions: Vec<Form> = sequent
+        .assumptions
+        .iter()
+        .map(simplify)
+        .filter(|a| !a.contains_binder(Binder::Forall) && !a.contains_binder(Binder::Exists))
+        .collect();
     let goal = simplify(&sequent.goal);
     let (assumptions, goal) = approximate_implication(&assumptions, &goal, &bapa_atom_filter);
     if goal.is_false() && assumptions.is_empty() {

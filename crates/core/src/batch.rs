@@ -8,7 +8,7 @@
 //! [`ObligationBatch`] (each obligation carrying its provenance and its method's
 //! [`ProverContext`](jahob_provers::ProverContext)), and [`fold_method_results`] folds
 //! the tagged per-obligation reports back into the per-method
-//! [`MethodResult`](crate::MethodResult) shape — in batch order, so the per-method
+//! [`MethodResult`] shape — in batch order, so the per-method
 //! `unproved` ordering is identical to a per-method dispatch.
 
 use crate::MethodResult;

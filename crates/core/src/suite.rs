@@ -10,7 +10,7 @@
 //! lookup operations that the paper's examples discuss); EXPERIMENTS.md records the
 //! exact coverage and the automation level achieved per structure.
 
-use jahob_frontend::{ClassDef, Expr, JavaType, Lvalue, MethodBuilder, Program, Stmt};
+use jahob_frontend::{ClassDef, Expr, Hint, JavaType, Lvalue, MethodBuilder, Program, Stmt};
 use jahob_logic::parse_form;
 
 fn obj() -> JavaType {
@@ -571,6 +571,8 @@ pub fn hash_table() -> Program {
         .static_field("buckets", JavaType::ObjArray)
         .static_field("used", JavaType::Int)
         .ghost_var("content", "(obj * obj) set", true)
+        .ghost_var("liveBucket", "(obj * obj) set", false)
+        .ghost_var("tombstones", "(obj * obj) set", false)
         .invariant("bucketsNotNull", "buckets ~= null")
         .invariant("usedNonNeg", "0 <= used")
         .method(
@@ -646,6 +648,27 @@ pub fn hash_table() -> Program {
                 .build(),
         )
         .method(
+            // The bucket-membership lemma (§3.5): every bucket slice of the map holds
+            // at most `used` entries — a universally quantified fact over *sets* that
+            // no prover can instantiate on its own (the needed witness
+            // `liveBucket - tombstones` is a compound term outside the SMT candidate
+            // pool, FOL cannot bridge the cardinality arithmetic, and BAPA cannot see
+            // through the quantifier). The `by inst` hint supplies the witness; before
+            // the hint language covered instantiations this specification had to be
+            // weakened to a fixed slice.
+            MethodBuilder::public("bucketMembershipBound")
+                .static_method()
+                .requires("comment ''bucketCap'' (ALL b. card (content Int b) <= used) & 0 <= used")
+                .modifies(&[])
+                .ensures("True")
+                .body(vec![Stmt::SpecAssert {
+                    label: Some("residueBound".into()),
+                    form: ghost("card (content Int (liveBucket - tombstones)) <= used + 1"),
+                    hints: vec![Hint::inst("b", ghost("liveBucket - tombstones"))],
+                }])
+                .build(),
+        )
+        .method(
             MethodBuilder::public("clear")
                 .static_method()
                 .modifies(&["content"])
@@ -674,6 +697,8 @@ pub fn binary_search_tree() -> Program {
         .static_field("root", JavaType::Ref("BstNode".into()))
         .ghost_var("content", "obj set", true)
         .ghost_var("nodes", "obj set", false)
+        .ghost_var("smaller", "obj set", false)
+        .ghost_var("larger", "obj set", false)
         .invariant("rootNodes", "root = null | root : nodes")
         .method(
             MethodBuilder::public("insertRoot")
@@ -760,6 +785,29 @@ pub fn binary_search_tree() -> Program {
                         value: ghost("content Un {x}"),
                     },
                 ])
+                .build(),
+        )
+        .method(
+            // The ordering step of a search: the elements smaller and larger than the
+            // pivot partition the visited part of the tree, and since every stored
+            // element occupies a distinct node, any slice of `content` has at most
+            // `card nodes` elements. The universally quantified slice bound cannot be
+            // instantiated by any prover (the witness `smaller Un larger` is a
+            // compound set term), so without the `by inst` hint this step had to be
+            // hand-weakened; with it, the ground instance is pure BAPA.
+            MethodBuilder::public("orderedSplitStep")
+                .static_method()
+                .requires(
+                    "comment ''sliceBound'' (ALL s. card (content Int s) <= card nodes) & \
+                     smaller subseteq content & larger subseteq content",
+                )
+                .modifies(&[])
+                .ensures("True")
+                .body(vec![Stmt::SpecAssert {
+                    label: Some("splitBound".into()),
+                    form: ghost("card (content Int (smaller Un larger)) <= card nodes + 1"),
+                    hints: vec![Hint::inst("s", ghost("smaller Un larger"))],
+                }])
                 .build(),
         )
         .method(

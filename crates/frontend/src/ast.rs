@@ -15,6 +15,8 @@ use jahob_logic::form::Form;
 use jahob_logic::parse_form;
 use jahob_logic::types::Type;
 
+pub use jahob_vcgen::Hint;
+
 /// A Java-level type (the subset the suite uses).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JavaType {
@@ -248,8 +250,9 @@ pub enum Stmt {
         label: Option<String>,
         /// The asserted formula.
         form: Form,
-        /// Assumption-selection hints.
-        hints: Vec<String>,
+        /// Proof hints: assumption labels, `lemma Name` injections, and
+        /// `inst x := "w"` quantifier instantiations (see [`Hint`]).
+        hints: Vec<Hint>,
     },
     /// `assume F` (trusted; emits a warning in reports).
     SpecAssume {
@@ -264,8 +267,8 @@ pub enum Stmt {
         label: Option<String>,
         /// The noted formula.
         form: Form,
-        /// Assumption-selection hints.
-        hints: Vec<String>,
+        /// Proof hints (labels, lemmas, instantiations — see [`Hint`]).
+        hints: Vec<Hint>,
     },
     /// `havoc x suchThat F`.
     SpecHavoc {

@@ -29,8 +29,8 @@ pub mod parser;
 pub mod translate;
 
 pub use ast::{
-    ClassDef, Contract, Expr, FieldDef, Invariant, JavaType, Lvalue, MethodBuilder, MethodDef,
-    Program, SpecVarDef, SpecVarKind, Stmt,
+    ClassDef, Contract, Expr, FieldDef, Hint, Invariant, JavaType, Lvalue, MethodBuilder,
+    MethodDef, Program, SpecVarDef, SpecVarKind, Stmt,
 };
 pub use parser::{parse_program, SourceError};
 pub use translate::{method_task, program_tasks, MethodTask};

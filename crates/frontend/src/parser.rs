@@ -23,7 +23,7 @@
 //! `havoc x suchThat "..."`.
 
 use crate::ast::{
-    ClassDef, Contract, Expr, FieldDef, Invariant, JavaType, Lvalue, MethodDef, Program,
+    ClassDef, Contract, Expr, FieldDef, Hint, Invariant, JavaType, Lvalue, MethodDef, Program,
     SpecVarDef, SpecVarKind, Stmt,
 };
 use crate::lexer::{lex, LexError, Spanned, Token};
@@ -731,7 +731,7 @@ impl Parser {
 
     fn labelled_formula_with_hints(
         &mut self,
-    ) -> Result<(Option<String>, Form, Vec<String>), SourceError> {
+    ) -> Result<(Option<String>, Form, Vec<Hint>), SourceError> {
         // Optional `label:` before the quoted formula.
         let label = match (self.peek(), self.peek_at(1)) {
             (Some(Token::Ident(l)), Some(Token::Sym(":"))) => {
@@ -750,14 +750,27 @@ impl Parser {
                 hints.push(self.hint()?);
             }
         }
+        // One witness per variable: a second `inst` for the same variable is almost
+        // certainly a typo (the first instantiation would silently win otherwise).
+        let mut instantiated: BTreeSet<&str> = BTreeSet::new();
+        for hint in &hints {
+            if let Hint::Inst { var, .. } = hint {
+                if !instantiated.insert(var.as_str()) {
+                    return Err(self.error(format!(
+                        "duplicate instantiation of `{var}` in `by` hints \
+                         (each variable may be instantiated once per assertion)"
+                    )));
+                }
+            }
+        }
         let _ = self.eat_sym(";");
         Ok((label, form, hints))
     }
 
-    /// One `by` hint: an assumption label, or `lemma Name` naming an interactively
-    /// proven lemma from the library (recorded with the `lemma:` prefix of
-    /// [`jahob_vcgen::LEMMA_HINT_PREFIX`], which the dispatcher resolves and injects
-    /// as an extra assumption of the hinted sequent).
+    /// One `by` hint: an assumption label, `lemma Name` naming an interactively proven
+    /// lemma from the library (injected as an extra assumption of the hinted sequent),
+    /// or `inst x := "witness"` supplying a quantifier instantiation (the dispatcher
+    /// specialises universal assumptions binding `x` at the witness term).
     ///
     /// `lemma` acts as a keyword only when the following token could actually be a
     /// lemma name: an identifier that does not itself start a new spec statement
@@ -765,17 +778,43 @@ impl Parser {
     /// `note`/`havoc` keyword or a ghost assignment target must belong to the *next*
     /// statement). An assumption label literally named `lemma` therefore keeps its
     /// pre-existing meaning in every form that parsed before the `by lemma` syntax.
-    fn hint(&mut self) -> Result<String, SourceError> {
+    ///
+    /// `inst` acts as a keyword whenever it is followed by `ident :=` — the shape of
+    /// an instantiation. This takes precedence over reading `inst` as a label hint
+    /// followed by a ghost assignment statement; terminate the hint list with `;`
+    /// (`by inst; x := "...";`) to force the label reading.
+    fn hint(&mut self) -> Result<Hint, SourceError> {
         if let (Some(Token::Ident(kw)), Some(Token::Ident(next))) = (self.peek(), self.peek_at(1)) {
+            if kw == "inst" && self.peek_at(2) == Some(&Token::Sym(":=")) {
+                self.bump();
+                let var = self.expect_ident()?;
+                self.expect_sym(":=")?;
+                let line = self.line();
+                let witness = self.formula()?;
+                // Reject witnesses that cannot be consistently typed at all (e.g.
+                // `card 3`): such a hint could never instantiate anything, and the
+                // error is far easier to act on here, with a source line, than as a
+                // silently ignored hint at dispatch time.
+                if let Err(e) = jahob_logic::typecheck::infer(
+                    &witness,
+                    &jahob_logic::typecheck::TypeEnv::standard(),
+                ) {
+                    return Err(SourceError {
+                        line,
+                        message: format!("ill-typed instantiation witness for `{var}`: {e}"),
+                    });
+                }
+                return Ok(Hint::Inst { var, witness });
+            }
             let starts_statement = matches!(next.as_str(), "assert" | "assume" | "note" | "havoc")
                 || matches!(self.peek_at(2), Some(Token::Sym(s)) if *s == ":=" || *s == ".");
             if kw == "lemma" && !starts_statement {
                 self.bump();
                 let name = self.expect_ident()?;
-                return Ok(format!("{}{name}", jahob_vcgen::LEMMA_HINT_PREFIX));
+                return Ok(Hint::Lemma(name));
             }
         }
-        self.expect_ident()
+        Ok(Hint::Label(self.expect_ident()?))
     }
 
     // ------------------------------------------------------------------ expressions
@@ -1003,7 +1042,7 @@ mod tests {
         "#;
         let program = parse_program(src).expect("parse");
         let touch = &program.classes[0].methods[0];
-        let hints: Vec<Vec<String>> = touch
+        let hints: Vec<Vec<Hint>> = touch
             .body
             .iter()
             .filter_map(|s| match s {
@@ -1013,22 +1052,141 @@ mod tests {
             .collect();
         assert_eq!(
             hints[0],
-            vec![
-                "sizeInv".to_string(),
-                format!("{}cardNonNeg", jahob_vcgen::LEMMA_HINT_PREFIX)
-            ]
+            vec![Hint::label("sizeInv"), Hint::lemma("cardNonNeg")]
         );
         // A hint that is literally the label `lemma` stays a plain label hint: with a
         // `;` terminator, and — since hint terminators are optional — when the next
         // token opens another spec statement (`assert ...`) or a ghost assignment
         // (`size := ...`).
-        assert_eq!(hints[1], vec!["lemma".to_string()]);
-        assert_eq!(hints[2], vec!["lemma".to_string()]);
-        assert_eq!(hints[3], vec!["lemma".to_string()]);
+        assert_eq!(hints[1], vec![Hint::label("lemma")]);
+        assert_eq!(hints[2], vec![Hint::label("lemma")]);
+        assert_eq!(hints[3], vec![Hint::label("lemma")]);
         assert!(touch
             .body
             .iter()
             .any(|s| matches!(s, Stmt::GhostAssign { target, .. } if target == "size")));
+    }
+
+    #[test]
+    fn parses_inst_hints_alongside_labels_and_lemmas() {
+        let src = r#"
+            class Table {
+                private static int used;
+                public static void check()
+                /*: ensures "True" */
+                {
+                    //: assert b1: "card (content Int m) <= used" by inst s := "content Int m";
+                    /*: assert b2: "True" by capBound, inst s := "content Un {(k0, v0)}", lemma cardNonNeg
+                        assert b3: "True" by inst;
+                        used := "used"; */
+                }
+            }
+        "#;
+        let program = parse_program(src).expect("parse");
+        let hints: Vec<Vec<Hint>> = program.classes[0].methods[0]
+            .body
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::SpecAssert { hints, .. } => Some(hints.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            hints[0],
+            vec![Hint::inst(
+                "s",
+                jahob_logic::parse_form("content Int m").unwrap()
+            )]
+        );
+        // `inst` composes with label and lemma hints in one list; the tuple witness
+        // (containing a comma) parses as one hint.
+        assert_eq!(
+            hints[1],
+            vec![
+                Hint::label("capBound"),
+                Hint::inst(
+                    "s",
+                    jahob_logic::parse_form("content Un {(k0, v0)}").unwrap()
+                ),
+                Hint::lemma("cardNonNeg"),
+            ]
+        );
+        // With an explicit `;` terminator `inst` stays an ordinary label hint (the
+        // documented way to disambiguate from a following ghost assignment), and the
+        // ghost assignment still parses.
+        assert_eq!(hints[2], vec![Hint::label("inst")]);
+        assert!(program.classes[0].methods[0]
+            .body
+            .iter()
+            .any(|s| matches!(s, Stmt::GhostAssign { target, .. } if target == "used")));
+    }
+
+    #[test]
+    fn inst_hint_errors_carry_lines_and_name_the_problem() {
+        // Unparsable witness formula.
+        let bad_witness = r#"
+            class A {
+                public static void m()
+                /*: ensures "True" */
+                {
+                    //: assert g: "True" by inst s := "x ==== y";
+                }
+            }
+        "#;
+        let err = parse_program(bad_witness).unwrap_err();
+        assert_eq!(err.line, 6);
+        assert!(err.message.contains("formula"), "{err}");
+
+        // Ill-typed witness: internally inconsistent, rejected with the variable name.
+        let ill_typed = r#"
+            class A {
+                public static void m()
+                /*: ensures "True" */
+                {
+                    //: assert g: "True" by inst s := "card 3";
+                }
+            }
+        "#;
+        let err = parse_program(ill_typed).unwrap_err();
+        assert_eq!(err.line, 6);
+        assert!(
+            err.message
+                .contains("ill-typed instantiation witness for `s`"),
+            "{err}"
+        );
+
+        // Duplicate instantiation of the same variable in one hint list.
+        let duplicate = r#"
+            class A {
+                public static void m()
+                /*: ensures "True" */
+                {
+                    //: assert g: "True" by inst s := "alloc", inst s := "{}";
+                }
+            }
+        "#;
+        let err = parse_program(duplicate).unwrap_err();
+        assert!(
+            err.message.contains("duplicate instantiation of `s`"),
+            "{err}"
+        );
+
+        // Missing witness after `:=`.
+        let missing = r#"
+            class A {
+                public static void m()
+                /*: ensures "True" */
+                {
+                    //: assert g: "True" by inst s := ;
+                }
+            }
+        "#;
+        let err = parse_program(missing).unwrap_err();
+        assert!(
+            err.message
+                .contains("expected a quoted specification string"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! The resulting commands are desugared and turned into proof obligations by
 //! `jahob-vcgen`.
 
-use crate::ast::{ClassDef, Expr, JavaType, Lvalue, MethodDef, Program, SpecVarKind, Stmt};
+use crate::ast::{ClassDef, Expr, Hint, JavaType, Lvalue, MethodDef, Program, SpecVarKind, Stmt};
 use jahob_logic::form::{Const, Form, Ident};
 use jahob_logic::rewrite::resolve_old;
 use jahob_logic::types::Type;
@@ -177,6 +177,22 @@ impl<'a> Translator<'a> {
     /// snapshot taken at method entry.
     fn resolve_spec_old(&self, form: &Form) -> Form {
         resolve_old(form, &self.snapshot)
+    }
+
+    /// Resolves `old` inside instantiation witnesses: `by inst s := "old content"` must
+    /// substitute the pre-state snapshot variable, exactly like the spec formula the
+    /// hint is attached to. Label and lemma hints carry no formulas and pass through.
+    fn resolve_spec_hints(&self, hints: &[Hint]) -> Vec<Hint> {
+        hints
+            .iter()
+            .map(|h| match h {
+                Hint::Inst { var, witness } => Hint::Inst {
+                    var: var.clone(),
+                    witness: self.resolve_spec_old(witness),
+                },
+                other => other.clone(),
+            })
+            .collect()
     }
 
     fn fresh_var(&mut self, base: &str, ty: Type) -> Ident {
@@ -553,7 +569,7 @@ impl<'a> Translator<'a> {
             Stmt::SpecAssert { label, form, hints } => vec![Command::Assert {
                 label: label.clone(),
                 form: self.resolve_spec_old(form),
-                hints: hints.clone(),
+                hints: self.resolve_spec_hints(hints),
             }],
             Stmt::SpecAssume { label, form } => vec![Command::Assume {
                 label: label.clone(),
@@ -562,7 +578,7 @@ impl<'a> Translator<'a> {
             Stmt::SpecNote { label, form, hints } => vec![Command::Note {
                 label: label.clone(),
                 form: self.resolve_spec_old(form),
-                hints: hints.clone(),
+                hints: self.resolve_spec_hints(hints),
             }],
             Stmt::SpecHavoc { vars, such_that } => vec![Command::Havoc {
                 vars: vars.clone(),

@@ -4,7 +4,9 @@
 //! of Linked Data Structures*, PLDI 2008): an automata-based decision procedure for weak
 //! monadic second-order logic of one successor (WS1S), built on the explicit-state
 //! automata of `jahob-automata`, together with an interface that translates Jahob
-//! sequents in the monadic fragment into WS1S.
+//! sequents in the monadic fragment into WS1S. Where this prover sits in the cascade
+//! (and why the router only promotes it on reachability-shaped sequents) is described
+//! in `docs/ARCHITECTURE.md`.
 //!
 //! The original MONA decides WS1S/WS2S and is used by Jahob, via field constraint
 //! analysis, for complete reasoning about reachability over list and tree backbones.

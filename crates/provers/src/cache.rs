@@ -16,7 +16,7 @@
 //! actually discharged.
 //!
 //! The cache also has a **negative side**: a set of memoized failed attempts keyed by
-//! `(prover, canonical sequent, variable classification)` ([`FailureKey`]). The
+//! `(prover, canonical sequent, variable classification)` (`FailureKey`). The
 //! dispatcher consults it inside the uncached prover cascade, so a prover is never
 //! re-run on a canonicalized sequent it already declined — neither on the full-sequent
 //! retry after a failed hinted attempt, nor across obligations and retried suite runs

@@ -39,16 +39,26 @@
 //!   sequent matches run first, hopeless ones are demoted to a fallback tail (never
 //!   dropped), so e.g. MONA stops burning ~100 ms failing on cardinality sequents
 //!   BAPA discharges in microseconds.
+//!
+//! In front of all three, the structured `by` hints of an obligation
+//! ([`jahob_vcgen::Hint`]) are resolved per sequent: label hints select assumptions,
+//! lemma hints inject library formulas, and `inst` hints specialise universally
+//! quantified assumptions at a supplied witness ([`inst`]) — the hinted,
+//! instantiated sequent is what routing, the cache keys and the provers all see.
+//! The architecture overview in `docs/ARCHITECTURE.md` shows where this crate sits
+//! in the pipeline; `docs/SPEC_LANGUAGE.md` documents the hint syntax.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod inst;
 pub mod router;
 
 pub use cache::{CacheStats, SequentCache, SequentKey};
 
 use cache::{CacheKey, CachedOutcome, FailureKey};
+use inst::apply_inst_hints;
 use jahob_logic::norm::{canonicalize, inline_definitions};
 use jahob_logic::simplify::{simplify, strip_comments_deep};
 use jahob_logic::{Form, SequentFeatures};
@@ -337,7 +347,10 @@ impl DispatcherConfig {
 
     /// Applies the `JAHOB_THREADS`, `JAHOB_CACHE`, `JAHOB_GRANULARITY` and
     /// `JAHOB_ROUTE` environment variables on top of `self` and returns the result.
-    /// Unset or unparsable variables leave the corresponding field untouched.
+    /// Unset variables leave the corresponding field untouched; a set-but-invalid
+    /// value also leaves the field untouched but prints a one-line warning to stderr
+    /// naming the variable and the rejected value (a silently ignored typo like
+    /// `JAHOB_CACHE=ture` used to make a whole ablation run measure the wrong thing).
     /// `JAHOB_CACHE` and `JAHOB_ROUTE` accept `1`/`on`/`true`/`yes` and
     /// `0`/`off`/`false`/`no` (case-insensitive).
     ///
@@ -346,20 +359,16 @@ impl DispatcherConfig {
     /// JAHOB_CACHE=on` and once more under `JAHOB_ROUTE=off` (guarding the global
     /// fallback cascade).
     pub fn with_env_overrides(mut self) -> Self {
-        if let Ok(v) = std::env::var("JAHOB_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                self.threads = n.max(1);
-            }
+        if let Some(n) = env_knob("JAHOB_THREADS", parse_count_knob) {
+            self.threads = n;
         }
-        if let Some(cache) = env_switch("JAHOB_CACHE") {
+        if let Some(cache) = env_knob("JAHOB_CACHE", parse_switch_knob) {
             self.cache = cache;
         }
-        if let Ok(v) = std::env::var("JAHOB_GRANULARITY") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                self.granularity = n.max(1);
-            }
+        if let Some(n) = env_knob("JAHOB_GRANULARITY", parse_count_knob) {
+            self.granularity = n;
         }
-        if let Some(route) = env_switch("JAHOB_ROUTE") {
+        if let Some(route) = env_knob("JAHOB_ROUTE", parse_switch_knob) {
             self.route = route;
         }
         self
@@ -380,16 +389,50 @@ impl DispatcherConfig {
     }
 }
 
-/// Parses an on/off environment switch: `Some(true)` for `1`/`on`/`true`/`yes`,
-/// `Some(false)` for `0`/`off`/`false`/`no` (case-insensitive), `None` otherwise.
-fn env_switch(name: &str) -> Option<bool> {
+/// Reads one `JAHOB_*` knob from the environment through `parse`: `None` when unset,
+/// the parsed value when valid, and `None` **plus a stderr warning** when set to a
+/// value the parser rejects (the warning text is produced by the parser so unit tests
+/// can pin it without touching the process environment).
+fn env_knob<T>(name: &str, parse: fn(&str, &str) -> Result<T, String>) -> Option<T> {
     match std::env::var(name) {
-        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
-            "1" | "on" | "true" | "yes" => Some(true),
-            "0" | "off" | "false" | "no" => Some(false),
-            _ => None,
+        Ok(value) => match parse(name, &value) {
+            Ok(parsed) => Some(parsed),
+            Err(warning) => {
+                eprintln!("{warning}");
+                None
+            }
         },
         Err(_) => None,
+    }
+}
+
+/// Parses a positive-count knob (`JAHOB_THREADS`, `JAHOB_GRANULARITY`). Counts are
+/// clamped to at least 1; a non-numeric value is rejected with a warning naming the
+/// variable and the value.
+fn parse_count_knob(name: &str, value: &str) -> Result<usize, String> {
+    value
+        .trim()
+        .parse::<usize>()
+        .map(|n| n.max(1))
+        .map_err(|_| {
+            format!(
+                "warning: ignoring {name}={value:?}: expected a non-negative integer; \
+             keeping the default"
+            )
+        })
+}
+
+/// Parses an on/off switch knob (`JAHOB_CACHE`, `JAHOB_ROUTE`): `1`/`on`/`true`/`yes`
+/// and `0`/`off`/`false`/`no`, case-insensitive. Anything else is rejected with a
+/// warning naming the variable and the value.
+fn parse_switch_knob(name: &str, value: &str) -> Result<bool, String> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "1" | "on" | "true" | "yes" => Ok(true),
+        "0" | "off" | "false" | "no" => Ok(false),
+        _ => Err(format!(
+            "warning: ignoring {name}={value:?}: expected on|off|true|false|yes|no|1|0; \
+             keeping the default"
+        )),
     }
 }
 
@@ -699,14 +742,25 @@ impl Dispatcher {
         // §5.3: before any prover runs, substitute the definitions of the intermediate
         // variables introduced by the VC generator (assignment temporaries, pre-state
         // snapshots, splitter renamings). Every prover then works on the collapsed
-        // sequent. The hinted variant — label-selected assumptions plus any library
-        // lemmas the hints name — is what the provers try first.
-        let hinted = (self.config.use_hints && !obligation.hints.is_empty()).then(|| {
-            inline_definitions(
-                &obligation.hinted_sequent_with_lemmas(context.lemmas.named_lemmas()),
-            )
+        // sequent. The hinted variant — label-selected assumptions, any library lemmas
+        // the hints name, and the instances produced by `inst` hints ([`inst`]) — is
+        // what the provers try first; instantiation runs before inlining and keying,
+        // so routing, `SequentKey` and the failure memo all see the instantiated
+        // sequent (entries never alias across witnesses).
+        let use_hints = self.config.use_hints && !obligation.hints.is_empty();
+        let hinted = use_hints.then(|| {
+            let selected = obligation.hinted_sequent_with_lemmas(context.lemmas.named_lemmas());
+            inline_definitions(&apply_inst_hints(&selected, &obligation.hints))
         });
-        let full = inline_definitions(&obligation.sequent);
+        // The full-sequent fallback keeps the instantiations too: label hints are
+        // advice the retry may discard, but an `inst` witness is information the
+        // provers cannot rediscover — dropping it on retry would lose proofs whenever
+        // a label hint misselected the assumptions.
+        let full = if use_hints {
+            inline_definitions(&apply_inst_hints(&obligation.sequent, &obligation.hints))
+        } else {
+            inline_definitions(&obligation.sequent)
+        };
         if !self.config.cache {
             return self.prove_one_uncached(obligation, context, hinted.as_ref(), &full, None);
         }
@@ -844,11 +898,15 @@ impl Dispatcher {
             return report;
         }
         // When hints narrowed the sequent and nothing succeeded, retry the provers with
-        // the full assumption set (the hints are advice, not a restriction).
-        if hinted.is_some() {
-            let retry_memo = memo.map(|m| (m.cache, &m.full));
-            if self.cascade(&mut report, full, obligation, context, retry_memo, true) {
-                return report;
+        // the full assumption set — still instantiated — because the hints are advice,
+        // not a restriction. With instantiation-only hints the two sequents coincide
+        // and the retry would re-run an identical cascade, so it is skipped.
+        if let Some(hinted) = hinted {
+            if hinted != full {
+                let retry_memo = memo.map(|m| (m.cache, &m.full));
+                if self.cascade(&mut report, full, obligation, context, retry_memo, true) {
+                    return report;
+                }
             }
         }
         report.unproved.push(obligation.sequent.describe());
@@ -1035,6 +1093,7 @@ fn syntactic_check(sequent: &jahob_logic::Sequent, canonical: bool) -> bool {
 mod tests {
     use super::*;
     use jahob_logic::{parse_form, Sequent};
+    use jahob_vcgen::Hint;
 
     fn ob(assumptions: &[&str], goal: &str) -> ProofObligation {
         ProofObligation {
@@ -1114,11 +1173,11 @@ mod tests {
             &["comment ''key'' (a = b)", "comment ''noise'' (c : d)"],
             "b = a",
         );
-        o.hints = vec!["key".to_string()];
+        o.hints = vec![Hint::label("key")];
         assert!(dispatcher.prove_one(&o, &context).succeeded());
         // A hint pointing at the wrong assumption still succeeds via the full-sequent
         // retry.
-        o.hints = vec!["noise".to_string()];
+        o.hints = vec![Hint::label("noise")];
         assert!(dispatcher.prove_one(&o, &context).succeeded());
     }
 
@@ -1301,9 +1360,9 @@ mod tests {
         // cache — yet its full-sequent retry skips every prover the first obligation
         // already saw fail on that canonical sequent.
         let mut first = ob(&["comment ''a'' (p = q)", "comment ''b'' (q = s)"], "r = t");
-        first.hints = vec!["a".to_string()];
+        first.hints = vec![Hint::label("a")];
         let mut second = first.clone();
-        second.hints = vec!["b".to_string()];
+        second.hints = vec![Hint::label("b")];
         let dispatcher = Dispatcher::with_config(DispatcherConfig::pinned(1, true, 1));
         let context = ProverContext::default();
         let r1 = dispatcher.prove_one(&first, &context);
@@ -1326,11 +1385,169 @@ mod tests {
     }
 
     #[test]
+    fn jahob_threads_invalid_value_warns_and_keeps_the_default() {
+        assert_eq!(parse_count_knob("JAHOB_THREADS", "4"), Ok(4));
+        assert_eq!(parse_count_knob("JAHOB_THREADS", "0"), Ok(1), "clamped");
+        let warning = parse_count_knob("JAHOB_THREADS", "many").unwrap_err();
+        assert!(warning.contains("JAHOB_THREADS"), "{warning}");
+        assert!(warning.contains("\"many\""), "{warning}");
+        assert!(warning.starts_with("warning:"), "{warning}");
+    }
+
+    #[test]
+    fn jahob_granularity_invalid_value_warns_and_keeps_the_default() {
+        assert_eq!(parse_count_knob("JAHOB_GRANULARITY", " 3 "), Ok(3));
+        let warning = parse_count_knob("JAHOB_GRANULARITY", "-2").unwrap_err();
+        assert!(warning.contains("JAHOB_GRANULARITY"), "{warning}");
+        assert!(warning.contains("\"-2\""), "{warning}");
+    }
+
+    #[test]
+    fn jahob_cache_invalid_value_warns_and_keeps_the_default() {
+        assert_eq!(parse_switch_knob("JAHOB_CACHE", "on"), Ok(true));
+        assert_eq!(parse_switch_knob("JAHOB_CACHE", "NO"), Ok(false));
+        let warning = parse_switch_knob("JAHOB_CACHE", "ture").unwrap_err();
+        assert!(warning.contains("JAHOB_CACHE"), "{warning}");
+        assert!(warning.contains("\"ture\""), "{warning}");
+        assert!(warning.starts_with("warning:"), "{warning}");
+    }
+
+    #[test]
+    fn jahob_route_invalid_value_warns_and_keeps_the_default() {
+        assert_eq!(parse_switch_knob("JAHOB_ROUTE", "0"), Ok(false));
+        let warning = parse_switch_knob("JAHOB_ROUTE", "enabled").unwrap_err();
+        assert!(warning.contains("JAHOB_ROUTE"), "{warning}");
+        assert!(warning.contains("\"enabled\""), "{warning}");
+    }
+
+    #[test]
+    fn inst_hints_discharge_sequents_no_prover_can_instantiate() {
+        // The universal relates `card` of arbitrary slices of `content` to `used`:
+        // BAPA cannot see through the quantifier, FOL/SMT cannot bridge the `card`
+        // arithmetic, and the needed witness `m - excluded` is a compound term the
+        // SMT candidate pool never contains. Only the inst hint makes the sequent
+        // provable.
+        let mut o = ob(
+            &["comment ''capBound'' (ALL s. card (content Int s) <= used)"],
+            "card (content Int (m - excluded)) <= used + 1",
+        );
+        let dispatcher = Dispatcher::with_config(DispatcherConfig::pinned(1, true, 1));
+        let context = ProverContext::default();
+        let without = dispatcher.prove_one(&o, &context);
+        assert!(!without.succeeded(), "unhinted sequent must be unprovable");
+        o.hints = vec![Hint::inst("s", parse_form("m - excluded").expect("parse"))];
+        let with = dispatcher.prove_one(&o, &context);
+        assert!(
+            with.succeeded(),
+            "inst hint should ground the universal: {with:?}"
+        );
+    }
+
+    #[test]
+    fn inst_hints_survive_the_full_sequent_retry() {
+        // A misselecting label hint narrows the hinted sequent to an assumption that
+        // cannot carry the proof, so the hinted cascade fails; the full-sequent retry
+        // must keep the instantiation (the witness is information no prover can
+        // rediscover), or combining a wrong label with a right witness would lose a
+        // proof the witness alone delivers.
+        let mut o = ob(
+            &[
+                "comment ''noise'' (c : d)",
+                "comment ''capBound'' (ALL s. card (content Int s) <= used)",
+            ],
+            "card (content Int (m - excluded)) <= used + 1",
+        );
+        o.hints = vec![
+            Hint::label("noise"),
+            Hint::inst("s", parse_form("m - excluded").expect("parse")),
+        ];
+        let dispatcher = Dispatcher::with_config(DispatcherConfig::pinned(1, true, 1));
+        let report = dispatcher.prove_one(&o, &ProverContext::default());
+        assert!(
+            report.succeeded(),
+            "the retry must re-apply the inst hint: {report:?}"
+        );
+    }
+
+    #[test]
+    fn joint_witnesses_ground_a_multi_variable_binder() {
+        // Both variables of one universal binder get witnesses; only their joint,
+        // fully ground instance is provable (partial instances stay quantified and
+        // BAPA drops them).
+        let mut o = ob(
+            &["comment ''cap'' (ALL s t. card (content Int (s Un t)) <= used)"],
+            "card (content Int (a Un b)) <= used + 1",
+        );
+        o.hints = vec![
+            Hint::inst("s", parse_form("a").expect("parse")),
+            Hint::inst("t", parse_form("b").expect("parse")),
+        ];
+        let dispatcher = Dispatcher::with_config(DispatcherConfig::pinned(1, true, 1));
+        let report = dispatcher.prove_one(&o, &ProverContext::default());
+        assert!(report.succeeded(), "joint instantiation: {report:?}");
+    }
+
+    #[test]
+    fn inst_hints_key_the_cache_per_witness() {
+        // Two obligations identical up to the witness: the hinted sequent differs, so
+        // they must not alias to one cache entry (a hit would replay the wrong
+        // verdict). Same obligation + same witness, on the other hand, hits.
+        let base = ob(
+            &["comment ''capBound'' (ALL s. card (content Int s) <= used)"],
+            "card (content Int (m - excluded)) <= used + 1",
+        );
+        let mut good = base.clone();
+        good.hints = vec![Hint::inst("s", parse_form("m - excluded").expect("parse"))];
+        let mut bad = base.clone();
+        bad.hints = vec![Hint::inst("s", parse_form("excluded").expect("parse"))];
+        let dispatcher = Dispatcher::with_config(DispatcherConfig::pinned(1, true, 1));
+        let context = ProverContext::default();
+        assert!(dispatcher.prove_one(&good, &context).succeeded());
+        let miss = dispatcher.prove_one(&bad, &context);
+        assert_eq!(miss.cache_hits, 0, "different witnesses must not alias");
+        assert!(
+            !miss.succeeded(),
+            "the useless witness leaves the goal unprovable"
+        );
+        let hit = dispatcher.prove_one(&good, &context);
+        assert_eq!(hit.cache_hits, 1, "same witness re-hits its own entry");
+        assert!(hit.succeeded());
+    }
+
+    #[test]
+    fn inst_hints_specialise_injected_lemmas_too() {
+        // The lemma is itself universally quantified; `by lemma` injects it and
+        // `by inst` specialises the injected assumption in the same hint list.
+        let mut o = ob(
+            &["comment ''noise'' (c : d)"],
+            "card (content Int (m - excluded)) <= used + 1",
+        );
+        o.hints = vec![
+            Hint::lemma("capBound"),
+            Hint::inst("s", parse_form("m - excluded").expect("parse")),
+        ];
+        let mut context = ProverContext::default();
+        context.lemmas.register_lemma(
+            "capBound",
+            parse_form("ALL s. card (content Int s) <= used").expect("parse"),
+        );
+        let dispatcher = Dispatcher::new();
+        let report = dispatcher.prove_one(&o, &context);
+        assert!(
+            report.succeeded(),
+            "inst must apply to lemma-injected assumptions: {report:?}"
+        );
+        // Without the inst hint the injected lemma alone is not enough.
+        o.hints = vec![Hint::lemma("capBound")];
+        assert!(!dispatcher.prove_one(&o, &context).succeeded());
+    }
+
+    #[test]
     fn lemma_hints_let_the_library_discharge_sequents() {
         // The goal follows syntactically from the lemma, but from nothing in the
         // sequent itself: only the injected lemma assumption can discharge it.
         let mut o = ob(&["comment ''noise'' (c : d)"], "null ~: alloc");
-        o.hints = vec!["lemma:nullFresh".to_string()];
+        o.hints = vec![Hint::lemma("nullFresh")];
         let dispatcher = Dispatcher::new();
         let without = dispatcher.prove_one(&o, &ProverContext::default());
         assert!(
@@ -1347,7 +1564,7 @@ mod tests {
             "lemma hint should inject the library fact"
         );
         // A plain (unprefixed) hint resolves against the library too.
-        o.hints = vec!["nullFresh".to_string()];
+        o.hints = vec![Hint::label("nullFresh")];
         assert!(dispatcher.prove_one(&o, &context).succeeded());
     }
 }

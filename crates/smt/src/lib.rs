@@ -12,6 +12,11 @@
 //!   approximation, heuristic quantifier instantiation with the sequent's own ground
 //!   terms, and conversion to ground clauses.
 //!
+//! Candidate-term instantiation only tries ground terms already occurring in the
+//! sequent; when a proof needs a universal assumption specialised at a *compound*
+//! witness, the annotation supplies it with a `by inst x := "w"` hint instead
+//! (`jahob_provers::inst`, documented in `docs/SPEC_LANGUAGE.md`).
+//!
 //! # Example
 //!
 //! ```

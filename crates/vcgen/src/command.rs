@@ -7,6 +7,7 @@
 //! sequencing and nondeterministic choice — from which weakest preconditions are
 //! generated (Figure 10).
 
+use crate::wlp::Hint;
 use jahob_logic::form::{Form, Ident};
 use jahob_logic::rewrite::unfold_definitions;
 use jahob_logic::subst::free_vars;
@@ -29,8 +30,9 @@ pub enum Command {
         label: Option<String>,
         /// The asserted formula.
         form: Form,
-        /// Labels of the assumptions the proof should use (empty = use everything).
-        hints: Vec<String>,
+        /// Hints for the proof: assumption labels to use, lemmas to inject, and
+        /// quantifier instantiations (empty = use everything).
+        hints: Vec<Hint>,
     },
     /// `x := F` (also used for field updates, whose right-hand side is a `fieldWrite`).
     Assign {
@@ -52,8 +54,8 @@ pub enum Command {
         label: Option<String>,
         /// The noted formula.
         form: Form,
-        /// Assumption-selection hints.
-        hints: Vec<String>,
+        /// Proof hints (labels, lemmas, instantiations).
+        hints: Vec<Hint>,
     },
     /// `assuming l: F in (c ; note G)` (hypothetical reasoning, §3.5).
     Assuming {
@@ -114,8 +116,8 @@ pub enum Simple {
         label: Option<String>,
         /// The asserted formula.
         form: Form,
-        /// Assumption-selection hints.
-        hints: Vec<String>,
+        /// Proof hints (labels, lemmas, instantiations).
+        hints: Vec<Hint>,
     },
     /// `havoc x`.
     Havoc {
@@ -547,12 +549,12 @@ mod tests {
             &[Command::Note {
                 label: Some("lemma1".into()),
                 form: p("a = b"),
-                hints: vec!["h1".into()],
+                hints: vec![Hint::label("h1")],
             }],
             &env,
         );
         assert!(
-            matches!(&out[0], Simple::Assert { hints, .. } if hints == &vec!["h1".to_string()])
+            matches!(&out[0], Simple::Assert { hints, .. } if hints == &vec![Hint::label("h1")])
         );
         assert!(matches!(&out[1], Simple::Assume { label: Some(l), .. } if l == "lemma1"));
     }

@@ -6,7 +6,7 @@
 //! * [`command`] — extended and simple guarded commands (Figures 8–9) and the desugaring
 //!   of executable and proof constructs (Figures 11–12), including the dependency
 //!   tracking for defined specification variables (§4.4);
-//! * [`wlp`] — weakest preconditions (Figure 10), splitting of verification conditions
+//! * [`mod@wlp`] — weakest preconditions (Figure 10), splitting of verification conditions
 //!   into independent proof obligations (Figure 13), and the `by`-hint plumbing.
 //!
 //! The frontend (`jahob-frontend`) produces [`command::Command`] sequences from annotated
@@ -20,4 +20,6 @@ pub mod command;
 pub mod wlp;
 
 pub use command::{collect_modified, desugar, Command, DesugarEnv, Simple};
-pub use wlp::{split, verification_conditions, wlp, ProofObligation, LEMMA_HINT_PREFIX};
+pub use wlp::{
+    split, verification_conditions, wlp, Hint, ProofObligation, INST_HINT_PREFIX, LEMMA_HINT_PREFIX,
+};

@@ -16,15 +16,104 @@ const HINT_LABEL_PREFIX: &str = "hint:";
 /// formula is injected as an extra assumption of the hinted sequent.
 pub const LEMMA_HINT_PREFIX: &str = "lemma:";
 
+/// Prefix marking a `by` hint that supplies a quantifier instantiation (the frontend's
+/// `by inst x := "witness"` syntax). The payload is `var:=witness-text`; the witness
+/// text is the printed form of the typechecked witness formula, re-parsed when the
+/// splitter decodes the hint back out of the verification condition.
+pub const INST_HINT_PREFIX: &str = "inst:";
+
+/// One `by` hint attached to an `assert`/`note` goal (§3.5).
+///
+/// The paper's proof-hint language has three forms, and this enum replaces the earlier
+/// stringly encoding (`Vec<String>` with `lemma:` prefixes) with one variant per form:
+///
+/// * [`Hint::Label`] — select the assumptions carrying this comment label;
+/// * [`Hint::Lemma`] — inject a named lemma from the interactive library as an extra
+///   assumption;
+/// * [`Hint::Inst`] — specialise universally quantified assumptions (and injected
+///   lemmas) that bind `var` by substituting `witness` for it, so a prover that cannot
+///   guess the instantiation sees the ground instance it needs. The instantiation pass
+///   itself lives in `jahob_provers::inst`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Hint {
+    /// `by l`: keep the assumptions labelled `l`.
+    Label(String),
+    /// `by lemma Name`: inject the named library lemma as an assumption.
+    Lemma(String),
+    /// `by inst x := "w"`: instantiate universal assumptions binding `x` at `w`.
+    Inst {
+        /// The universally quantified variable to instantiate.
+        var: String,
+        /// The witness term substituted for `var`.
+        witness: Form,
+    },
+}
+
+impl Hint {
+    /// Convenience constructor for a label hint.
+    pub fn label(l: impl Into<String>) -> Hint {
+        Hint::Label(l.into())
+    }
+
+    /// Convenience constructor for a lemma hint.
+    pub fn lemma(name: impl Into<String>) -> Hint {
+        Hint::Lemma(name.into())
+    }
+
+    /// Convenience constructor for an instantiation hint.
+    pub fn inst(var: impl Into<String>, witness: Form) -> Hint {
+        Hint::Inst {
+            var: var.into(),
+            witness,
+        }
+    }
+
+    /// Returns `true` for instantiation hints.
+    pub fn is_inst(&self) -> bool {
+        matches!(self, Hint::Inst { .. })
+    }
+
+    /// The comment-payload token carrying this hint through the weakest-precondition
+    /// formula (see [`Hint::decode`] for the inverse).
+    pub fn encode(&self) -> String {
+        match self {
+            Hint::Label(l) => l.clone(),
+            Hint::Lemma(name) => format!("{LEMMA_HINT_PREFIX}{name}"),
+            Hint::Inst { var, witness } => format!("{INST_HINT_PREFIX}{var}:={witness}"),
+        }
+    }
+
+    /// Decodes one comment-payload token back into a hint. Malformed `inst` payloads
+    /// (no `:=`, or a witness that no longer parses) degrade to an inert label hint —
+    /// hints are advice, so the dispatcher's full-sequent retry keeps completeness.
+    pub fn decode(token: &str) -> Hint {
+        if let Some(payload) = token.strip_prefix(INST_HINT_PREFIX) {
+            if let Some((var, witness)) = payload.split_once(":=") {
+                if let Ok(witness) = jahob_logic::parse_form(witness.trim()) {
+                    return Hint::Inst {
+                        var: var.trim().to_string(),
+                        witness,
+                    };
+                }
+            }
+            return Hint::Label(token.to_string());
+        }
+        if let Some(name) = token.strip_prefix(LEMMA_HINT_PREFIX) {
+            return Hint::Lemma(name.to_string());
+        }
+        Hint::Label(token.to_string())
+    }
+}
+
 /// A proof obligation: a sequent plus the `by` hints attached to its goal (§3.5). An
 /// empty hint list means "use all assumptions".
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProofObligation {
     /// The sequent to prove.
     pub sequent: Sequent,
-    /// Hints attached to the goal: assumption labels the developer asked to use, plus
-    /// `lemma:`-prefixed names of library lemmas to inject (see [`LEMMA_HINT_PREFIX`]).
-    pub hints: Vec<String>,
+    /// Hints attached to the goal: assumption labels the developer asked to use, names
+    /// of library lemmas to inject, and quantifier instantiations (see [`Hint`]).
+    pub hints: Vec<Hint>,
 }
 
 impl ProofObligation {
@@ -37,15 +126,17 @@ impl ProofObligation {
 
     /// The hinted sequent with lemma hints resolved against `lemmas` (name → formula).
     ///
-    /// Each hint is interpreted in order: a `lemma:`-prefixed hint injects the named
-    /// formula as an extra assumption (wrapped in a `comment ''lemma:Name''` marker so
-    /// its provenance stays visible); a plain hint selects labelled assumptions as
+    /// Each hint is interpreted in order: a [`Hint::Lemma`] injects the named formula
+    /// as an extra assumption (wrapped in a `comment ''lemma:Name''` marker so its
+    /// provenance stays visible); a [`Hint::Label`] selects labelled assumptions as
     /// before, falling back to the lemma library only when it matches **no** assumption
     /// label of the sequent — so registering a lemma can never silently change the
     /// meaning of an existing label hint. When no hint selects a label, the full
     /// assumption set is kept — hints are advice, never a restriction that silently
     /// drops the whole context. Unknown names are ignored (the full-sequent retry in
-    /// the dispatcher keeps completeness).
+    /// the dispatcher keeps completeness). [`Hint::Inst`] hints are inert here: the
+    /// instantiation pass (`jahob_provers::inst`) runs on the sequent this method
+    /// returns, so it also specialises the lemma assumptions injected here.
     pub fn hinted_sequent_with_lemmas(&self, lemmas: &BTreeMap<String, Form>) -> Sequent {
         if self.hints.is_empty() {
             return self.sequent.clone();
@@ -59,12 +150,16 @@ impl ProofObligation {
         let mut label_hints: Vec<String> = Vec::new();
         let mut lemma_hints: Vec<String> = Vec::new();
         for hint in &self.hints {
-            if let Some(name) = hint.strip_prefix(LEMMA_HINT_PREFIX) {
-                lemma_hints.push(name.to_string());
-            } else if !assumption_labels.contains(hint.as_str()) && lemmas.contains_key(hint) {
-                lemma_hints.push(hint.clone());
-            } else {
-                label_hints.push(hint.clone());
+            match hint {
+                Hint::Lemma(name) => lemma_hints.push(name.clone()),
+                Hint::Label(l) => {
+                    if !assumption_labels.contains(l.as_str()) && lemmas.contains_key(l) {
+                        lemma_hints.push(l.clone());
+                    } else {
+                        label_hints.push(l.clone());
+                    }
+                }
+                Hint::Inst { .. } => {}
             }
         }
         let mut sequent = if label_hints.is_empty() {
@@ -105,8 +200,11 @@ fn wlp_one(command: &Simple, post: Form, env: &DesugarEnv) -> Form {
         }
         Simple::Assert { label, form, hints } => {
             let mut f = form.clone();
-            if !hints.is_empty() {
-                f = Form::comment(format!("{HINT_LABEL_PREFIX}{}", hints.join(",")), f);
+            // Each hint rides in its own comment layer (innermost = last hint), so the
+            // splitter recovers them one per comment: a witness containing commas can
+            // never be confused with a comma-joined label list.
+            for hint in hints.iter().rev() {
+                f = Form::comment(format!("{HINT_LABEL_PREFIX}{}", hint.encode()), f);
             }
             if let Some(l) = label {
                 f = Form::comment(l.clone(), f);
@@ -155,7 +253,7 @@ pub fn split(vc: &Form) -> Vec<ProofObligation> {
 fn split_rec(
     assumptions: &mut Vec<Form>,
     labels: &mut Vec<String>,
-    hints: &mut Vec<String>,
+    hints: &mut Vec<Hint>,
     goal: &Form,
     out: &mut Vec<ProofObligation>,
     used_names: &mut BTreeSet<String>,
@@ -167,8 +265,14 @@ fn split_rec(
                 match c {
                     Const::Comment(l) if args.len() == 1 => {
                         if let Some(h) = l.strip_prefix(HINT_LABEL_PREFIX) {
-                            let added: Vec<String> =
-                                h.split(',').map(|s| s.trim().to_string()).collect();
+                            // An `inst` payload is one hint (its witness may contain
+                            // commas); anything else may be a comma-joined label list
+                            // (the pre-structured-hint encoding, still accepted).
+                            let added: Vec<Hint> = if h.starts_with(INST_HINT_PREFIX) {
+                                vec![Hint::decode(h)]
+                            } else {
+                                h.split(',').map(|s| Hint::decode(s.trim())).collect()
+                            };
                             let n = added.len();
                             hints.extend(added);
                             split_rec(assumptions, labels, hints, &args[0], out, used_names);
@@ -225,7 +329,7 @@ fn split_rec(
 fn emit(
     assumptions: &[Form],
     labels: &[String],
-    hints: &[String],
+    hints: &[Hint],
     goal: &Form,
     out: &mut Vec<ProofObligation>,
 ) {
@@ -317,7 +421,7 @@ mod tests {
         );
         assert_eq!(
             obligations[0].hints,
-            vec!["sizeInv".to_string(), "xFresh".to_string()]
+            vec![Hint::label("sizeInv"), Hint::label("xFresh")]
         );
     }
 
@@ -327,7 +431,7 @@ mod tests {
         let mut obligations = split(&vc);
         assert_eq!(obligations.len(), 1);
         let mut ob = obligations.remove(0);
-        ob.hints = vec!["a".to_string()];
+        ob.hints = vec![Hint::label("a")];
         assert_eq!(ob.hinted_sequent().assumptions.len(), 1);
         ob.hints.clear();
         assert_eq!(ob.hinted_sequent().assumptions.len(), 2);
@@ -340,8 +444,8 @@ mod tests {
         let mut ob = obligations.remove(0);
         let mut lemmas = BTreeMap::new();
         lemmas.insert("nullFresh".to_string(), p("null ~: alloc"));
-        // An explicit `lemma:` hint injects the formula alongside the kept labels.
-        ob.hints = vec!["a".to_string(), "lemma:nullFresh".to_string()];
+        // An explicit lemma hint injects the formula alongside the kept labels.
+        ob.hints = vec![Hint::label("a"), Hint::lemma("nullFresh")];
         let hinted = ob.hinted_sequent_with_lemmas(&lemmas);
         assert_eq!(hinted.assumptions.len(), 2);
         assert_eq!(
@@ -350,22 +454,66 @@ mod tests {
         );
         // A plain hint that matches no assumption label falls back to the library —
         // and with no label hints left, the full assumption set is kept.
-        ob.hints = vec!["nullFresh".to_string()];
+        ob.hints = vec![Hint::label("nullFresh")];
         let hinted = ob.hinted_sequent_with_lemmas(&lemmas);
         assert_eq!(hinted.assumptions.len(), 2);
         // Assumption labels take precedence: registering a lemma under an existing
         // label never changes what a plain label hint selects.
         lemmas.insert("a".to_string(), p("captured = True"));
-        ob.hints = vec!["a".to_string()];
+        ob.hints = vec![Hint::label("a")];
         let hinted = ob.hinted_sequent_with_lemmas(&lemmas);
         assert_eq!(hinted.assumptions.len(), 1);
         assert_eq!(hinted.assumptions[0], Form::comment("a", p("x = 1")));
         // Unknown lemma names are ignored rather than dropping assumptions.
-        ob.hints = vec!["lemma:unknown".to_string()];
+        ob.hints = vec![Hint::lemma("unknown")];
         let hinted = ob.hinted_sequent_with_lemmas(&lemmas);
         assert_eq!(hinted.assumptions.len(), 1);
         // Without a library, `hinted_sequent` treats lemma hints as inert.
         assert_eq!(ob.hinted_sequent().assumptions.len(), 1);
+    }
+
+    #[test]
+    fn inst_hints_survive_the_wlp_round_trip() {
+        // An instantiation hint rides through the weakest-precondition formula as a
+        // comment payload and is decoded back structurally — including a witness with
+        // commas, which must not be comma-split like a label list.
+        let env = DesugarEnv::default();
+        let witness = p("content Int {(k0, v0)}");
+        let cmds = vec![Command::Assert {
+            label: Some("step".into()),
+            form: p("card s <= n"),
+            hints: vec![Hint::label("bound"), Hint::inst("s", witness.clone())],
+        }];
+        let simple = desugar(&cmds, &env);
+        let obligations = verification_conditions(&simple, Form::tt(), &env);
+        assert_eq!(obligations.len(), 1);
+        assert_eq!(obligations[0].sequent.labels, vec!["step".to_string()]);
+        assert_eq!(
+            obligations[0].hints,
+            vec![Hint::label("bound"), Hint::inst("s", witness)]
+        );
+    }
+
+    #[test]
+    fn hint_tokens_encode_and_decode() {
+        let cases = vec![
+            Hint::label("sizeInv"),
+            Hint::lemma("cardNonNeg"),
+            Hint::inst("s", p("content Un {x}")),
+            Hint::inst("s", p("{(a, b)} Int rel")),
+        ];
+        for hint in cases {
+            assert_eq!(Hint::decode(&hint.encode()), hint, "{hint:?}");
+        }
+        // A malformed inst payload degrades to an inert label, never a panic.
+        assert_eq!(
+            Hint::decode("inst:x:=((("),
+            Hint::Label("inst:x:=(((".to_string())
+        );
+        assert_eq!(
+            Hint::decode("inst:orphan"),
+            Hint::Label("inst:orphan".into())
+        );
     }
 
     #[test]

@@ -63,6 +63,54 @@ fn text_sources_verify_end_to_end() {
     }
 }
 
+/// A table whose bucket-slice lemma needs a quantifier instantiation: the universal
+/// `cap` bound must be specialised at the compound witness `live - dead`, which no
+/// prover finds on its own (see `docs/SPEC_LANGUAGE.md`).
+const SLICE_LEMMA: &str = r#"
+    public class SliceTable {
+        private static int used;
+
+        /*: public static ghost specvar content :: "(obj * obj) set" = "{}";
+            private static ghost specvar live :: "(obj * obj) set" = "{}";
+            private static ghost specvar dead :: "(obj * obj) set" = "{}";
+        */
+
+        public static void sliceBound()
+        /*: requires "comment ''cap'' (ALL b. card (content Int b) <= used) & 0 <= used"
+            ensures "True" */
+        {
+            //: assert residue: "card (content Int (live - dead)) <= used + 1" by inst b := "live - dead";
+        }
+    }
+"#;
+
+#[test]
+fn inst_hints_work_from_source_text_end_to_end() {
+    // The full surface-syntax path for quantifier-instantiation hints: the `by inst`
+    // grammar parses, the witness survives translation and the WLP round trip, the
+    // dispatcher's instantiation pass specialises the universal `cap` assumption, and
+    // the ground instance is proved. Dropping the hint (same source minus the `by`
+    // clause) leaves exactly that assertion unproved.
+    let program = parse_program(SLICE_LEMMA).expect("parse");
+    for result in verify_program(&program, &VerifyOptions::default()) {
+        assert!(
+            result.verified(),
+            "{} not fully verified:\n{}",
+            result.method,
+            result.render()
+        );
+    }
+
+    let unhinted_src = SLICE_LEMMA.replace(" by inst b := \"live - dead\"", "");
+    assert_ne!(unhinted_src, SLICE_LEMMA);
+    let unhinted = parse_program(&unhinted_src).expect("parse");
+    let unproved: Vec<String> = verify_program(&unhinted, &VerifyOptions::default())
+        .iter()
+        .flat_map(|r| r.report.unproved.clone())
+        .collect();
+    assert_eq!(unproved, vec!["residue".to_string()]);
+}
+
 #[test]
 fn missing_ghost_update_is_caught() {
     // Forgetting the `content := ...` specification assignment makes the postcondition

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Checks that every relative markdown link in the repo's documentation resolves.
+
+Scans the given markdown files and directories (default: README.md,
+EXPERIMENTS.md, ROADMAP.md and everything under docs/) for inline links
+`[text](target)`. Absolute URLs (http/https/mailto) are skipped; every other
+target is resolved relative to the file containing it (dropping any #anchor)
+and must exist on disk. Exits non-zero listing every broken link.
+
+Run from the repository root:  python3 tools/check_doc_links.py
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(args):
+    roots = [Path(a) for a in args] if args else [
+        Path("README.md"),
+        Path("EXPERIMENTS.md"),
+        Path("ROADMAP.md"),
+        Path("docs"),
+    ]
+    for root in roots:
+        if root.is_dir():
+            yield from sorted(root.rglob("*.md"))
+        elif root.exists():
+            yield root
+        else:
+            print(f"warning: {root} does not exist, skipping", file=sys.stderr)
+
+
+def check(path: Path):
+    broken = []
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                broken.append((lineno, target))
+    return broken
+
+
+def main():
+    failures = 0
+    checked = 0
+    for path in markdown_files(sys.argv[1:]):
+        checked += 1
+        for lineno, target in check(path):
+            failures += 1
+            print(f"{path}:{lineno}: broken link -> {target}")
+    if failures:
+        print(f"{failures} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"ok: all relative links resolve across {checked} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
