@@ -12,10 +12,17 @@ use std::time::Duration;
 /// is pinned **off** here: these ablations measure the fixed global order and the
 /// other scaling knobs; the routing axis has its own `ablation/route_*` benches.
 fn options(threads: usize, cache: bool) -> VerifyOptions {
-    let mut dispatcher = jahob::DispatcherConfig::pinned(threads, cache, 1);
-    dispatcher.route = false;
+    let mode = if cache {
+        jahob::CacheMode::Memory
+    } else {
+        jahob::CacheMode::Off
+    };
     VerifyOptions {
-        dispatcher,
+        dispatcher: jahob::DispatcherConfig::builder()
+            .threads(threads)
+            .cache(mode)
+            .route(false)
+            .build(),
         ..VerifyOptions::default()
     }
 }

@@ -7,8 +7,16 @@ use std::time::Duration;
 /// Options with fixed dispatcher knobs (immune to env overrides so the recorded
 /// numbers always measure what their bench id claims).
 fn options(threads: usize, cache: bool) -> VerifyOptions {
+    let mode = if cache {
+        jahob::CacheMode::Memory
+    } else {
+        jahob::CacheMode::Off
+    };
     VerifyOptions {
-        dispatcher: jahob::DispatcherConfig::pinned(threads, cache, 1),
+        dispatcher: jahob::DispatcherConfig::builder()
+            .threads(threads)
+            .cache(mode)
+            .build(),
         ..VerifyOptions::default()
     }
 }

@@ -13,10 +13,8 @@ use std::time::Duration;
 /// Options with fixed dispatcher knobs (immune to env overrides so the recorded
 /// numbers always measure what their bench id claims).
 fn options(route: bool) -> VerifyOptions {
-    let mut dispatcher = jahob::DispatcherConfig::pinned(1, true, 1);
-    dispatcher.route = route;
     VerifyOptions {
-        dispatcher,
+        dispatcher: jahob::DispatcherConfig::builder().route(route).build(),
         ..VerifyOptions::default()
     }
 }

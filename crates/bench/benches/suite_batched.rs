@@ -18,7 +18,7 @@ use std::time::Duration;
 /// fill a fresh cache per iteration, so the comparison is fair.
 fn options(threads: usize) -> VerifyOptions {
     VerifyOptions {
-        dispatcher: jahob::DispatcherConfig::pinned(threads, true, 1),
+        dispatcher: jahob::DispatcherConfig::builder().threads(threads).build(),
         ..VerifyOptions::default()
     }
 }

@@ -22,7 +22,9 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod prelude;
 pub mod suite;
+pub mod verifier;
 
 use batch::{assemble_program_batch, fold_method_results};
 use jahob_frontend::{MethodTask, Program};
@@ -32,9 +34,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 pub use jahob_provers::{
-    BatchEntry, BatchReport, CacheStats, DispatcherConfig, ObligationBatch, ObligationTag,
-    ProverStats, SequentCache, TaggedReport,
+    store_path, BatchEntry, BatchReport, CacheMode, CacheStats, DispatcherConfig,
+    DispatcherConfigBuilder, ObligationBatch, ObligationTag, ProverStats, SequentCache,
+    TaggedReport, STORE_VERSION,
 };
+pub use verifier::{ProgramReport, Verifier};
 
 /// Options for a verification run.
 #[derive(Debug, Clone, Default)]
@@ -143,6 +147,9 @@ pub struct SuiteRow {
     pub proved_sequents: usize,
     /// Sequents answered from the result cache.
     pub cache_hits: usize,
+    /// Of `cache_hits`, sequents answered by entries warm-loaded from the persistent
+    /// proof store (0 unless the cache mode is [`CacheMode::Persistent`]).
+    pub cache_disk_hits: usize,
     /// Sequents that fell through the cache to the provers (0 when caching is off).
     pub cache_misses: usize,
     /// Total verification time.
@@ -158,6 +165,7 @@ impl SuiteRow {
             total_sequents: 0,
             proved_sequents: 0,
             cache_hits: 0,
+            cache_disk_hits: 0,
             cache_misses: 0,
             total_time: Duration::ZERO,
         };
@@ -173,6 +181,7 @@ impl SuiteRow {
             row.total_sequents += r.report.total_sequents;
             row.proved_sequents += r.report.proved_sequents;
             row.cache_hits += r.report.cache_hits;
+            row.cache_disk_hits += r.report.cache_disk_hits;
             row.cache_misses += r.report.cache_misses;
             row.total_time += r.report.total_time;
         }
@@ -278,11 +287,18 @@ pub fn render_figure15(rows: &[SuiteRow]) -> String {
         ));
     }
     let hits: usize = rows.iter().map(|r| r.cache_hits).sum();
+    let disk_hits: usize = rows.iter().map(|r| r.cache_disk_hits).sum();
     let misses: usize = rows.iter().map(|r| r.cache_misses).sum();
     if hits + misses > 0 {
+        let from_disk = if disk_hits > 0 {
+            format!(" ({disk_hits} from disk)")
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "Result cache: {} hits, {} misses ({:.1}% hit rate) across the suite.\n",
+            "Result cache: {} hits{}, {} misses ({:.1}% hit rate) across the suite.\n",
             hits,
+            from_disk,
             misses,
             100.0 * hits as f64 / (hits + misses) as f64
         ));
@@ -351,7 +367,7 @@ mod tests {
 
     #[test]
     fn verify_program_dispatches_exactly_one_batch() {
-        let dispatcher = Dispatcher::with_config(DispatcherConfig::pinned(1, true, 1));
+        let dispatcher = Dispatcher::with_config(DispatcherConfig::builder().build());
         let program = suite::sized_list();
         let results = verify_program_with(&dispatcher, &program, &LemmaLibrary::new());
         assert_eq!(
@@ -364,7 +380,7 @@ mod tests {
 
     #[test]
     fn run_suite_dispatches_exactly_one_batch() {
-        let dispatcher = Dispatcher::with_config(DispatcherConfig::pinned(1, true, 1));
+        let dispatcher = Dispatcher::with_config(DispatcherConfig::builder().build());
         let rows = run_suite_with(&dispatcher, &LemmaLibrary::new());
         assert_eq!(
             dispatcher.batches_dispatched(),

@@ -113,6 +113,20 @@ impl SequentKey {
     pub fn repr(&self) -> &str {
         &self.repr
     }
+
+    /// Rebuilds a key from a canonical printed form read back from the on-disk store.
+    ///
+    /// `DefaultHasher::new()` is keyed deterministically, so the shard/probe hash of a
+    /// reloaded key is identical to the one computed when the entry was first written —
+    /// which is what makes the printed form alone a complete content address.
+    pub(crate) fn from_repr(repr: String) -> SequentKey {
+        let mut hasher = DefaultHasher::new();
+        repr.hash(&mut hasher);
+        SequentKey {
+            hash: hasher.finish(),
+            repr,
+        }
+    }
 }
 
 /// The full lookup key of one obligation: the canonical sequent plus everything else
@@ -148,6 +162,11 @@ pub(crate) struct CachedOutcome {
     /// failure memo already knew them dead. Replayed alongside `attempted` so cached
     /// and uncached accounting stay field-for-field identical.
     pub skipped: Vec<(ProverId, usize)>,
+    /// Whether the entry was loaded from the persistent on-disk store rather than
+    /// computed by this process. Not serialized — set by [`SequentCache::absorb`] so
+    /// hits on warm-started entries can be attributed separately
+    /// ([`CacheStats::disk_hits`], `VerificationReport::cache_disk_hits`).
+    pub from_disk: bool,
 }
 
 /// The key of one memoized **failed** attempt site: the canonical form of the exact
@@ -210,6 +229,9 @@ pub struct CacheStats {
     /// Individual prover attempts skipped because the negative side of the cache
     /// already recorded the `(prover, sequent)` pair as a failure.
     pub failure_hits: u64,
+    /// Of `hits`, how many were answered by an entry loaded from the persistent
+    /// on-disk store (a warm start) rather than computed earlier in this process.
+    pub disk_hits: u64,
 }
 
 impl CacheStats {
@@ -242,6 +264,7 @@ pub struct SequentCache {
     hits: AtomicU64,
     misses: AtomicU64,
     failure_hits: AtomicU64,
+    disk_hits: AtomicU64,
 }
 
 impl SequentCache {
@@ -317,10 +340,16 @@ impl SequentCache {
             .expect("cache shard poisoned")
             .get(key)
             .cloned();
-        if found.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+        match &found {
+            Some(outcome) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if outcome.from_disk {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
         }
         found
     }
@@ -352,6 +381,63 @@ impl SequentCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             failure_hits: self.failure_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshots every verdict and memoized failure for the persistent store. The
+    /// snapshot includes entries that were themselves loaded from disk, so a
+    /// merge-write never drops what an earlier process contributed.
+    pub(crate) fn export(&self) -> crate::store::StoreData {
+        let verdicts = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("cache shard poisoned")
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let failures = self
+            .failures
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("failure shard poisoned")
+                    .iter()
+                    .map(|(k, v)| (k.clone(), *v))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        crate::store::StoreData { verdicts, failures }
+    }
+
+    /// Loads a store snapshot into the cache, marking every verdict as disk-loaded
+    /// (so hits on it count as [`CacheStats::disk_hits`]) and OR-ing failure masks
+    /// into any already present. Entries this process already computed are never
+    /// overwritten — fresh results are at least as up to date as the store's.
+    pub(crate) fn absorb(&self, data: crate::store::StoreData) {
+        for (key, mut outcome) in data.verdicts {
+            outcome.from_disk = true;
+            self.shard(&key)
+                .lock()
+                .expect("cache shard poisoned")
+                .entry(key)
+                .or_insert(outcome);
+        }
+        for (key, mask) in data.failures {
+            let mut shard = self
+                .failure_shard(&key)
+                .lock()
+                .expect("failure shard poisoned");
+            match shard.get_mut(&key) {
+                Some(existing) => *existing |= mask,
+                None => {
+                    shard.insert(key, mask);
+                }
+            }
         }
     }
 }
@@ -413,6 +499,7 @@ mod tests {
             prover: Some(ProverId::Syntactic),
             attempted: vec![(ProverId::Syntactic, 1)],
             skipped: Vec::new(),
+            from_disk: false,
         };
         cache.insert(key.clone(), outcome.clone());
         assert_eq!(cache.lookup(&key), Some(outcome));

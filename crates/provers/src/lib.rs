@@ -54,8 +54,10 @@
 pub mod cache;
 pub mod inst;
 pub mod router;
+pub mod store;
 
 pub use cache::{CacheStats, SequentCache, SequentKey};
+pub use store::{store_path, STORE_VERSION};
 
 use cache::{CacheKey, CachedOutcome, FailureKey};
 use inst::apply_inst_hints;
@@ -65,6 +67,7 @@ use jahob_logic::{Form, SequentFeatures};
 use jahob_vcgen::ProofObligation;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
@@ -292,7 +295,61 @@ impl ObligationBatch {
     }
 }
 
-/// Configuration of the dispatcher.
+/// How the dispatcher caches prover verdicts. Subsumes the old `cache: bool` knob:
+/// `Off`/`Memory` are the former `false`/`true`, and `Persistent` extends `Memory`
+/// with the on-disk proof store ([`store`]) so verdicts survive the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheMode {
+    /// No caching: every obligation runs the full prover cascade.
+    Off,
+    /// The in-memory sharded cache (the former `cache: true`), dying with the process.
+    Memory,
+    /// The in-memory cache, warm-started from — and merge-written back to — the
+    /// versioned proof store in `dir` ([`store_path`]). A missing store is a silent
+    /// cold start; a corrupt or version-mismatched one is a warned cold start.
+    Persistent {
+        /// Directory holding the store file (created on first flush).
+        dir: PathBuf,
+        /// Merge-write the store when the last dispatcher sharing the cache is
+        /// dropped. With `false`, only explicit [`Dispatcher::flush_store`] calls
+        /// write (what benches use to keep measurement iterations read-only).
+        flush: bool,
+    },
+}
+
+impl CacheMode {
+    /// `true` unless caching is [`CacheMode::Off`] (the old `cache: bool` view).
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, CacheMode::Off)
+    }
+
+    /// The persistent store directory, when the mode is [`CacheMode::Persistent`].
+    pub fn persistent_dir(&self) -> Option<&std::path::Path> {
+        match self {
+            CacheMode::Persistent { dir, .. } => Some(dir),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CacheMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheMode::Off => write!(f, "off"),
+            CacheMode::Memory => write!(f, "memory"),
+            CacheMode::Persistent { dir, flush } => write!(
+                f,
+                "persistent({}{})",
+                dir.display(),
+                if *flush { "" } else { ", no flush on drop" }
+            ),
+        }
+    }
+}
+
+/// Configuration of the dispatcher. Build one with [`DispatcherConfig::builder`]
+/// (explicit, typed knobs; no environment) or take [`DispatcherConfig::default`]
+/// (baseline plus `JAHOB_*` environment overrides).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DispatcherConfig {
     /// The provers to try, in order (§5.2: "the user lists the provers starting from the
@@ -304,8 +361,10 @@ pub struct DispatcherConfig {
     pub threads: usize,
     /// Apply `by` hints (assumption selection) when present.
     pub use_hints: bool,
-    /// Consult (and fill) the canonical-form-keyed result cache before running provers.
-    pub cache: bool,
+    /// Whether (and how durably) to cache verdicts: consult the canonical-form-keyed
+    /// result cache before running provers, optionally backed by the persistent
+    /// on-disk proof store ([`CacheMode::Persistent`]).
+    pub cache: CacheMode,
     /// How many obligations a worker claims from the shared queue per grab. `1` gives
     /// the best load balance; larger batches amortise queue traffic when obligations
     /// are uniformly tiny. Values are clamped to at least 1.
@@ -318,52 +377,158 @@ pub struct DispatcherConfig {
 }
 
 impl Default for DispatcherConfig {
-    /// The baseline configuration (sequential, hints on, cache on, routing on,
+    /// The baseline configuration (sequential, hints on, in-memory cache, routing on,
     /// granularity 1), with [`DispatcherConfig::with_env_overrides`] applied on top so
-    /// a whole test or bench run can be switched to the parallel, uncached or unrouted
-    /// path from the environment.
+    /// a whole test or bench run can be switched to the parallel, uncached, unrouted
+    /// or persistent-store path from the environment.
     fn default() -> Self {
-        DispatcherConfig::pinned(1, true, 1).with_env_overrides()
+        DispatcherConfig::builder().build().with_env_overrides()
+    }
+}
+
+/// Builder for [`DispatcherConfig`]: typed, named knobs instead of the old
+/// bool-and-positional surface. Starts from the pinned baseline (sequential, hints
+/// on, [`CacheMode::Memory`], granularity 1, routing on) and applies **no**
+/// environment overrides, so configurations built here mean exactly what the call
+/// site says — benches and differential tests depend on that. Call
+/// [`DispatcherConfigBuilder::env_overrides`] last to opt back into `JAHOB_*`.
+///
+/// ```
+/// use jahob_provers::{CacheMode, DispatcherConfig};
+///
+/// let config = DispatcherConfig::builder()
+///     .threads(4)
+///     .cache(CacheMode::Persistent { dir: "/tmp/jahob-store".into(), flush: true })
+///     .build();
+/// assert_eq!(config.threads, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DispatcherConfigBuilder {
+    config: DispatcherConfig,
+}
+
+impl DispatcherConfigBuilder {
+    /// Sets the global prover order (§5.2).
+    pub fn order(mut self, order: Vec<ProverId>) -> Self {
+        self.config.order = order;
+        self
+    }
+
+    /// Sets the worker thread count (clamped to at least 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads.max(1);
+        self
+    }
+
+    /// Enables or disables `by` hint application.
+    pub fn hints(mut self, use_hints: bool) -> Self {
+        self.config.use_hints = use_hints;
+        self
+    }
+
+    /// Sets the cache mode ([`CacheMode::Off`] / [`CacheMode::Memory`] /
+    /// [`CacheMode::Persistent`]).
+    pub fn cache(mut self, mode: CacheMode) -> Self {
+        self.config.cache = mode;
+        self
+    }
+
+    /// Sets the work-queue claim granularity (clamped to at least 1).
+    pub fn granularity(mut self, granularity: usize) -> Self {
+        self.config.granularity = granularity.max(1);
+        self
+    }
+
+    /// Enables or disables feature-directed per-sequent routing.
+    pub fn route(mut self, route: bool) -> Self {
+        self.config.route = route;
+        self
+    }
+
+    /// Applies the `JAHOB_*` environment overrides **on top of** everything set so
+    /// far (see [`DispatcherConfig::with_env_overrides`]). Call it last: knobs set
+    /// after it win over the environment again.
+    pub fn env_overrides(mut self) -> Self {
+        self.config = self.config.with_env_overrides();
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> DispatcherConfig {
+        self.config
     }
 }
 
 impl DispatcherConfig {
-    /// The baseline configuration with explicit scaling knobs and **no** environment
-    /// overrides (routing stays at its production default, on; set
-    /// [`DispatcherConfig::route`] explicitly to ablate it). Benches and differential
-    /// tests use this so their measurements and comparisons mean what their names claim
-    /// no matter how the process is invoked; everything else should go through
-    /// `Default` (which honours the environment).
-    pub fn pinned(threads: usize, cache: bool, granularity: usize) -> Self {
-        DispatcherConfig {
-            order: ProverId::default_order(),
-            threads,
-            use_hints: true,
-            cache,
-            granularity,
-            route: true,
+    /// Starts a [`DispatcherConfigBuilder`] at the pinned baseline (sequential,
+    /// hints on, in-memory cache, granularity 1, routing on; no environment
+    /// overrides).
+    pub fn builder() -> DispatcherConfigBuilder {
+        DispatcherConfigBuilder {
+            config: DispatcherConfig {
+                order: ProverId::default_order(),
+                threads: 1,
+                use_hints: true,
+                cache: CacheMode::Memory,
+                granularity: 1,
+                route: true,
+            },
         }
     }
 
-    /// Applies the `JAHOB_THREADS`, `JAHOB_CACHE`, `JAHOB_GRANULARITY` and
-    /// `JAHOB_ROUTE` environment variables on top of `self` and returns the result.
-    /// Unset variables leave the corresponding field untouched; a set-but-invalid
-    /// value also leaves the field untouched but prints a one-line warning to stderr
-    /// naming the variable and the rejected value (a silently ignored typo like
-    /// `JAHOB_CACHE=ture` used to make a whole ablation run measure the wrong thing).
-    /// `JAHOB_CACHE` and `JAHOB_ROUTE` accept `1`/`on`/`true`/`yes` and
-    /// `0`/`off`/`false`/`no` (case-insensitive).
+    /// The old positional configuration surface, kept as a thin shim over
+    /// [`DispatcherConfig::builder`] so the long-standing differential harness keeps
+    /// its historical meaning: `cache = true` is [`CacheMode::Memory`], `false` is
+    /// [`CacheMode::Off`], and no environment overrides are applied.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use DispatcherConfig::builder() with a typed CacheMode instead"
+    )]
+    pub fn pinned(threads: usize, cache: bool, granularity: usize) -> Self {
+        DispatcherConfig::builder()
+            .threads(threads)
+            .cache(if cache {
+                CacheMode::Memory
+            } else {
+                CacheMode::Off
+            })
+            .granularity(granularity)
+            .build()
+    }
+
+    /// Applies the `JAHOB_THREADS`, `JAHOB_CACHE`, `JAHOB_CACHE_DIR`,
+    /// `JAHOB_GRANULARITY` and `JAHOB_ROUTE` environment variables on top of `self`
+    /// and returns the result. Unset variables leave the corresponding field
+    /// untouched; a set-but-invalid value also leaves the field untouched but prints
+    /// a one-line warning to stderr naming the variable and the rejected value (a
+    /// silently ignored typo like `JAHOB_CACHE=ture` used to make a whole ablation
+    /// run measure the wrong thing). `JAHOB_CACHE` and `JAHOB_ROUTE` accept
+    /// `1`/`on`/`true`/`yes` and `0`/`off`/`false`/`no` (case-insensitive).
     ///
-    /// This is what lets CI exercise the work-stealing, cached and unrouted paths on
-    /// every push: the test job re-runs the whole suite under `JAHOB_THREADS=4
-    /// JAHOB_CACHE=on` and once more under `JAHOB_ROUTE=off` (guarding the global
-    /// fallback cascade).
+    /// `JAHOB_CACHE_DIR=<dir>` upgrades the cache to
+    /// [`CacheMode::Persistent`]` { dir, flush: true }` — the on-disk proof store
+    /// loaded at dispatcher construction and merge-written on drop. An explicit
+    /// `JAHOB_CACHE=off` still wins (it is the established ablation switch), while
+    /// `JAHOB_CACHE=on` keeps a configured persistent mode persistent.
+    ///
+    /// This is what lets CI exercise the work-stealing, cached, unrouted and
+    /// warm-start paths on every push: the test job re-runs the whole suite under
+    /// `JAHOB_THREADS=4 JAHOB_CACHE=on`, once under `JAHOB_ROUTE=off` (guarding the
+    /// global fallback cascade), and the warm-start job twice against one
+    /// `JAHOB_CACHE_DIR`.
     pub fn with_env_overrides(mut self) -> Self {
         if let Some(n) = env_knob("JAHOB_THREADS", parse_count_knob) {
             self.threads = n;
         }
+        if let Some(dir) = env_knob("JAHOB_CACHE_DIR", parse_dir_knob) {
+            self.cache = CacheMode::Persistent { dir, flush: true };
+        }
         if let Some(cache) = env_knob("JAHOB_CACHE", parse_switch_knob) {
-            self.cache = cache;
+            self.cache = match (cache, self.cache) {
+                (false, _) => CacheMode::Off,
+                (true, CacheMode::Off) => CacheMode::Memory,
+                (true, mode) => mode,
+            };
         }
         if let Some(n) = env_knob("JAHOB_GRANULARITY", parse_count_knob) {
             self.granularity = n;
@@ -436,6 +601,21 @@ fn parse_switch_knob(name: &str, value: &str) -> Result<bool, String> {
     }
 }
 
+/// Parses a directory-path knob (`JAHOB_CACHE_DIR`): any non-empty value (after
+/// trimming) is accepted as a path; an empty value is rejected with a warning naming
+/// the variable (an empty dir would silently resolve to the current directory).
+fn parse_dir_knob(name: &str, value: &str) -> Result<PathBuf, String> {
+    let trimmed = value.trim();
+    if trimmed.is_empty() {
+        Err(format!(
+            "warning: ignoring {name}={value:?}: expected a directory path; \
+             keeping the default"
+        ))
+    } else {
+        Ok(PathBuf::from(trimmed))
+    }
+}
+
 /// Statistics for one prover within a verification run (one row cell of Figure 15).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProverStats {
@@ -469,6 +649,10 @@ pub struct VerificationReport {
     pub unproved: Vec<String>,
     /// Obligations answered from the result cache during this run.
     pub cache_hits: usize,
+    /// Of `cache_hits`, how many were answered by entries warm-loaded from the
+    /// persistent proof store rather than proved earlier in this process. Always 0
+    /// unless the cache mode is [`CacheMode::Persistent`].
+    pub cache_disk_hits: usize,
     /// Obligations that fell through the cache to the provers during this run. Both
     /// counters stay 0 when caching is disabled.
     pub cache_misses: usize,
@@ -519,9 +703,15 @@ impl VerificationReport {
             self.proved_sequents, self.total_sequents
         ));
         if self.cache_hits + self.cache_misses > 0 {
+            let from_disk = if self.cache_disk_hits > 0 {
+                format!(" ({} from disk)", self.cache_disk_hits)
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
-                "Result cache: {} hits, {} misses ({:.1}% hit rate).\n",
+                "Result cache: {} hits{}, {} misses ({:.1}% hit rate).\n",
                 self.cache_hits,
+                from_disk,
                 self.cache_misses,
                 100.0 * self.cache_hits as f64 / (self.cache_hits + self.cache_misses) as f64
             ));
@@ -559,6 +749,7 @@ impl VerificationReport {
         self.proved_sequents += other.proved_sequents;
         self.unproved.extend(other.unproved.iter().cloned());
         self.cache_hits += other.cache_hits;
+        self.cache_disk_hits += other.cache_disk_hits;
         self.cache_misses += other.cache_misses;
         self.total_time += other.total_time;
     }
@@ -599,17 +790,34 @@ impl BatchReport {
     }
 }
 
+/// The persistent-store attachment shared by a dispatcher and its clones: where to
+/// merge-write, and whether dropping the last sharer should do it implicitly.
+#[derive(Debug)]
+struct StoreHandle {
+    path: PathBuf,
+    flush_on_drop: bool,
+}
+
 /// The integrated-reasoning dispatcher.
 ///
 /// Cloning a dispatcher shares its result cache (the cache sits behind an `Arc`), so
 /// one cache can serve every method of a program — or a whole suite — while each clone
-/// keeps its own configuration.
-#[derive(Debug, Clone, Default)]
+/// keeps its own configuration. Under [`CacheMode::Persistent`] the cache is
+/// warm-started from the on-disk proof store at construction and merge-written back
+/// when the last sharing dispatcher is dropped (or on [`Dispatcher::flush_store`]).
+#[derive(Debug, Clone)]
 pub struct Dispatcher {
     /// Configuration (prover order, threads, caching, hint usage).
     pub config: DispatcherConfig,
     cache: Arc<SequentCache>,
     batches: Arc<AtomicUsize>,
+    store: Option<Arc<StoreHandle>>,
+}
+
+impl Default for Dispatcher {
+    fn default() -> Self {
+        Dispatcher::with_config(DispatcherConfig::default())
+    }
 }
 
 impl Dispatcher {
@@ -618,15 +826,65 @@ impl Dispatcher {
         Dispatcher::default()
     }
 
-    /// Creates a dispatcher with the given configuration and a fresh cache.
+    /// Creates a dispatcher with the given configuration and a fresh cache. Under
+    /// [`CacheMode::Persistent`] the proof store is loaded here (missing file =
+    /// silent cold start; corrupt or version-mismatched file = warned cold start).
     pub fn with_config(config: DispatcherConfig) -> Self {
+        let cache = Arc::new(SequentCache::new());
+        let store = if let CacheMode::Persistent { dir, flush } = &config.cache {
+            let path = store_path(dir);
+            cache.absorb(store::load_or_warn(&path));
+            Some(Arc::new(StoreHandle {
+                path,
+                flush_on_drop: *flush,
+            }))
+        } else {
+            None
+        };
         Dispatcher {
             config,
-            cache: Arc::new(SequentCache::new()),
+            cache,
             batches: Arc::new(AtomicUsize::new(0)),
+            store,
         }
     }
 
+    /// Merge-writes the cache's current contents into the persistent proof store and
+    /// returns the number of verdict entries the store now holds. A dispatcher
+    /// without a [`CacheMode::Persistent`] cache flushes nothing and returns
+    /// `Ok(0)`. Concurrent flushers never torn-write (each writes a private tmp file
+    /// and atomically renames it over the store) and never lose each other's
+    /// entries (each re-reads the store and overlays its own snapshot before
+    /// writing).
+    pub fn flush_store(&self) -> std::io::Result<usize> {
+        match &self.store {
+            Some(handle) => store::merge_write(&handle.path, self.cache.export()),
+            None => Ok(0),
+        }
+    }
+}
+
+impl Drop for Dispatcher {
+    /// Flushes the persistent store when this is the last dispatcher sharing the
+    /// cache and the mode asked for it (`flush: true`). A failed implicit flush only
+    /// warns — dropping must not panic; call [`Dispatcher::flush_store`] explicitly
+    /// to observe the error. (Two clones dropped concurrently can in principle both
+    /// see a sharer and skip; the explicit call is the reliable path.)
+    fn drop(&mut self) {
+        if let Some(handle) = &self.store {
+            if handle.flush_on_drop && Arc::strong_count(&self.cache) == 1 {
+                if let Err(e) = store::merge_write(&handle.path, self.cache.export()) {
+                    eprintln!(
+                        "warning: failed to flush proof store {}: {e}",
+                        handle.path.display()
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl Dispatcher {
     /// Creates a dispatcher with an explicit prover order.
     pub fn with_order(order: Vec<ProverId>) -> Self {
         Dispatcher::with_config(DispatcherConfig {
@@ -761,7 +1019,7 @@ impl Dispatcher {
         } else {
             inline_definitions(&obligation.sequent)
         };
-        if !self.config.cache {
+        if !self.config.cache.is_enabled() {
             return self.prove_one_uncached(obligation, context, hinted.as_ref(), &full, None);
         }
         // The canonical sequent keys and variable classifications are computed once
@@ -824,6 +1082,7 @@ impl Dispatcher {
                 prover,
                 attempted,
                 skipped,
+                from_disk: false,
             },
         );
         report
@@ -841,6 +1100,7 @@ impl Dispatcher {
         let mut report = VerificationReport {
             total_sequents: 1,
             cache_hits: 1,
+            cache_disk_hits: outcome.from_disk as usize,
             ..VerificationReport::default()
         };
         for (prover, attempted) in &outcome.attempted {
@@ -1270,7 +1530,7 @@ mod tests {
         // Pinned config: under `Dispatcher::new()` the JAHOB_* env overrides apply, and
         // with threads > 1 two workers can race the same cold key (both miss), making
         // the exact hit/miss counts below indeterminate.
-        let dispatcher = Dispatcher::with_config(DispatcherConfig::pinned(1, true, 1));
+        let dispatcher = Dispatcher::with_config(DispatcherConfig::builder().build());
         dispatcher.prove_all(&batch);
         let stats = dispatcher.cache().stats();
         assert_eq!(
@@ -1283,7 +1543,7 @@ mod tests {
         let mut batch = ObligationBatch::new();
         batch.push_method("", "a", Arc::new(ProverContext::default()), vec![o.clone()]);
         batch.push_method("", "b", Arc::new(ProverContext::default()), vec![o]);
-        let dispatcher = Dispatcher::with_config(DispatcherConfig::pinned(1, true, 1));
+        let dispatcher = Dispatcher::with_config(DispatcherConfig::builder().build());
         let report = dispatcher.prove_all(&batch);
         assert_eq!(report.aggregate().cache_hits, 1);
     }
@@ -1296,7 +1556,7 @@ mod tests {
         // sequent it can actually decide (pure Presburger), still proves it. A router
         // that *dropped* hopeless provers instead of demoting them would report this
         // sequent unproved.
-        let mut config = DispatcherConfig::pinned(1, false, 1);
+        let mut config = DispatcherConfig::builder().cache(CacheMode::Off).build();
         config.order = vec![ProverId::Mona, ProverId::Bapa];
         config.route = true;
         let dispatcher = Dispatcher::with_config(config);
@@ -1308,7 +1568,7 @@ mod tests {
         );
         assert_eq!(report.per_prover[&ProverId::Bapa].proved, 1);
         // And the routed run proves exactly what the unrouted one does.
-        let mut unrouted = DispatcherConfig::pinned(1, false, 1);
+        let mut unrouted = DispatcherConfig::builder().cache(CacheMode::Off).build();
         unrouted.order = vec![ProverId::Mona, ProverId::Bapa];
         unrouted.route = false;
         let baseline = Dispatcher::with_config(unrouted).prove_one(&o, &ProverContext::default());
@@ -1331,7 +1591,7 @@ mod tests {
             ob(&["p"], "q"),
         ];
         let context = ProverContext::default();
-        let mut routed_config = DispatcherConfig::pinned(1, false, 1);
+        let mut routed_config = DispatcherConfig::builder().cache(CacheMode::Off).build();
         routed_config.route = true;
         let mut unrouted_config = routed_config.clone();
         unrouted_config.route = false;
@@ -1363,7 +1623,7 @@ mod tests {
         first.hints = vec![Hint::label("a")];
         let mut second = first.clone();
         second.hints = vec![Hint::label("b")];
-        let dispatcher = Dispatcher::with_config(DispatcherConfig::pinned(1, true, 1));
+        let dispatcher = Dispatcher::with_config(DispatcherConfig::builder().build());
         let context = ProverContext::default();
         let r1 = dispatcher.prove_one(&first, &context);
         assert!(!r1.succeeded());
@@ -1431,7 +1691,7 @@ mod tests {
             &["comment ''capBound'' (ALL s. card (content Int s) <= used)"],
             "card (content Int (m - excluded)) <= used + 1",
         );
-        let dispatcher = Dispatcher::with_config(DispatcherConfig::pinned(1, true, 1));
+        let dispatcher = Dispatcher::with_config(DispatcherConfig::builder().build());
         let context = ProverContext::default();
         let without = dispatcher.prove_one(&o, &context);
         assert!(!without.succeeded(), "unhinted sequent must be unprovable");
@@ -1461,7 +1721,7 @@ mod tests {
             Hint::label("noise"),
             Hint::inst("s", parse_form("m - excluded").expect("parse")),
         ];
-        let dispatcher = Dispatcher::with_config(DispatcherConfig::pinned(1, true, 1));
+        let dispatcher = Dispatcher::with_config(DispatcherConfig::builder().build());
         let report = dispatcher.prove_one(&o, &ProverContext::default());
         assert!(
             report.succeeded(),
@@ -1482,7 +1742,7 @@ mod tests {
             Hint::inst("s", parse_form("a").expect("parse")),
             Hint::inst("t", parse_form("b").expect("parse")),
         ];
-        let dispatcher = Dispatcher::with_config(DispatcherConfig::pinned(1, true, 1));
+        let dispatcher = Dispatcher::with_config(DispatcherConfig::builder().build());
         let report = dispatcher.prove_one(&o, &ProverContext::default());
         assert!(report.succeeded(), "joint instantiation: {report:?}");
     }
@@ -1500,7 +1760,7 @@ mod tests {
         good.hints = vec![Hint::inst("s", parse_form("m - excluded").expect("parse"))];
         let mut bad = base.clone();
         bad.hints = vec![Hint::inst("s", parse_form("excluded").expect("parse"))];
-        let dispatcher = Dispatcher::with_config(DispatcherConfig::pinned(1, true, 1));
+        let dispatcher = Dispatcher::with_config(DispatcherConfig::builder().build());
         let context = ProverContext::default();
         assert!(dispatcher.prove_one(&good, &context).succeeded());
         let miss = dispatcher.prove_one(&bad, &context);
@@ -1566,5 +1826,159 @@ mod tests {
         // A plain (unprefixed) hint resolves against the library too.
         o.hints = vec![Hint::label("nullFresh")];
         assert!(dispatcher.prove_one(&o, &context).succeeded());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_pinned_shim_matches_the_builder() {
+        // The differential harness still calls `pinned`; its historical meaning must
+        // be exactly what the builder spells out.
+        assert_eq!(
+            DispatcherConfig::pinned(4, true, 2),
+            DispatcherConfig::builder()
+                .threads(4)
+                .cache(CacheMode::Memory)
+                .granularity(2)
+                .build()
+        );
+        assert_eq!(
+            DispatcherConfig::pinned(1, false, 1),
+            DispatcherConfig::builder().cache(CacheMode::Off).build()
+        );
+    }
+
+    #[test]
+    fn builder_clamps_counts_and_keeps_explicit_knobs() {
+        let config = DispatcherConfig::builder()
+            .threads(0)
+            .granularity(0)
+            .hints(false)
+            .route(false)
+            .order(vec![ProverId::Smt])
+            .build();
+        assert_eq!(config.threads, 1, "clamped");
+        assert_eq!(config.granularity, 1, "clamped");
+        assert!(!config.use_hints);
+        assert!(!config.route);
+        assert_eq!(config.order, vec![ProverId::Smt]);
+        assert_eq!(config.cache, CacheMode::Memory, "default mode");
+    }
+
+    #[test]
+    fn jahob_cache_dir_invalid_value_warns_and_keeps_the_default() {
+        assert_eq!(
+            parse_dir_knob("JAHOB_CACHE_DIR", " /tmp/store "),
+            Ok(PathBuf::from("/tmp/store"))
+        );
+        let warning = parse_dir_knob("JAHOB_CACHE_DIR", "  ").unwrap_err();
+        assert!(warning.contains("JAHOB_CACHE_DIR"), "{warning}");
+        assert!(warning.starts_with("warning:"), "{warning}");
+    }
+
+    #[test]
+    fn cache_mode_displays_its_shape() {
+        assert_eq!(CacheMode::Off.to_string(), "off");
+        assert_eq!(CacheMode::Memory.to_string(), "memory");
+        let persistent = CacheMode::Persistent {
+            dir: PathBuf::from("/tmp/s"),
+            flush: true,
+        };
+        assert_eq!(persistent.to_string(), "persistent(/tmp/s)");
+        assert_eq!(
+            persistent.persistent_dir(),
+            Some(std::path::Path::new("/tmp/s"))
+        );
+        let no_flush = CacheMode::Persistent {
+            dir: PathBuf::from("/tmp/s"),
+            flush: false,
+        };
+        assert_eq!(no_flush.to_string(), "persistent(/tmp/s, no flush on drop)");
+        assert!(no_flush.is_enabled() && !CacheMode::Off.is_enabled());
+    }
+
+    #[test]
+    fn persistent_store_warm_starts_a_second_dispatcher() {
+        let dir = std::env::temp_dir().join(format!(
+            "jahob-provers-persist-{}-warm-start",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let persistent = |flush: bool| {
+            DispatcherConfig::builder()
+                .cache(CacheMode::Persistent {
+                    dir: dir.clone(),
+                    flush,
+                })
+                .build()
+        };
+        let o = ob(&["x = y"], "y = x");
+        // First process stand-in: prove, then flush explicitly (flush:false keeps the
+        // drop silent so the test controls exactly when the store is written).
+        let cold = Dispatcher::with_config(persistent(false));
+        let first = cold.prove_one(&o, &ProverContext::default());
+        assert!(first.succeeded());
+        assert_eq!(first.cache_disk_hits, 0, "cold run proves, not replays");
+        let written = cold.flush_store().expect("flush");
+        assert!(written >= 1, "the verdict must reach the store");
+        // Second process stand-in: a fresh dispatcher warm-loads the verdict.
+        let warm = Dispatcher::with_config(persistent(false));
+        let replay = warm.prove_one(&o, &ProverContext::default());
+        assert!(replay.succeeded());
+        assert_eq!(replay.cache_hits, 1, "must be answered from the cache");
+        assert_eq!(
+            replay.cache_disk_hits, 1,
+            "and attributed to the disk store"
+        );
+        assert_eq!(warm.cache().stats().disk_hits, 1);
+        // A non-persistent dispatcher flushes nothing and reports so.
+        let memory = Dispatcher::with_config(DispatcherConfig::builder().build());
+        assert_eq!(memory.flush_store().expect("no-op flush"), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dropping_the_last_persistent_dispatcher_flushes_the_store() {
+        let dir = std::env::temp_dir().join(format!(
+            "jahob-provers-persist-{}-drop-flush",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let o = ob(&["x = y"], "y = x");
+        {
+            let dispatcher = Dispatcher::with_config(
+                DispatcherConfig::builder()
+                    .cache(CacheMode::Persistent {
+                        dir: dir.clone(),
+                        flush: true,
+                    })
+                    .build(),
+            );
+            // A clone shares the cache; dropping it must NOT flush yet.
+            let clone = dispatcher.clone();
+            assert!(clone.prove_one(&o, &ProverContext::default()).succeeded());
+            drop(clone);
+            assert!(
+                !store_path(&dir).exists(),
+                "a surviving sharer must keep the store unwritten"
+            );
+        }
+        assert!(
+            store_path(&dir).exists(),
+            "dropping the last sharer must write the store"
+        );
+        let warm = Dispatcher::with_config(
+            DispatcherConfig::builder()
+                .cache(CacheMode::Persistent {
+                    dir: dir.clone(),
+                    flush: false,
+                })
+                .build(),
+        );
+        let replay = warm.prove_one(&o, &ProverContext::default());
+        assert_eq!(
+            replay.cache_disk_hits, 1,
+            "the drop-flushed verdict replays"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,604 @@
+//! The persistent, content-addressed proof store: warm starts across processes,
+//! runs, and machines.
+//!
+//! The in-memory [`SequentCache`](crate::SequentCache) dies with the process, so a
+//! suite re-run re-proves every sequent from a cold start. This module serializes the
+//! cache — the `SequentKey → CachedOutcome` verdict map *and* the negative
+//! failure-memo masks — to one versioned file inside a user-chosen directory
+//! ([`store_path`]), loaded at [`Dispatcher`](crate::Dispatcher) construction and
+//! merge-written on flush (or drop, per
+//! [`CacheMode::Persistent`](crate::CacheMode::Persistent)).
+//!
+//! **Content addressing.** Every verdict record carries the cache's full key: the
+//! alpha-normalized canonical sequent (its
+//! printed form *is* the content address — `SequentKey` hashes are recomputed
+//! deterministically on load), the hinted-variant key, the variable classification,
+//! the lemma-registration bit, **and the dispatcher's `config_fingerprint`** (prover
+//! order, hint usage, routing). A store written under one configuration is therefore
+//! never *replayed* under another: entries with a foreign fingerprint are loaded but
+//! can never be looked up, and a later merge-write carries them along untouched, so
+//! one store file can serve many configurations side by side.
+//!
+//! **Versioning and robustness.** The file starts with a
+//! `jahob-proof-store v<N>` header ([`STORE_VERSION`]) and ends with an `## end`
+//! trailer carrying the record counts, so truncation is detected even at a line
+//! boundary. A missing file is a silent cold start; a corrupt, truncated or
+//! future-versioned file is a **warned** cold start (one stderr line naming the path
+//! and the reason) — never a crash, and never a partial load: a store either parses
+//! completely or contributes nothing.
+//!
+//! **Merge semantics.** A flush re-reads the file, overlays the live snapshot on top
+//! (live verdicts win on key collision — they are at least as fresh; failure masks are
+//! OR-ed), and writes the union to a temporary file in the same directory, atomically
+//! renamed over the store. Concurrent writers can therefore never produce a torn
+//! file: readers see either the old store or the new one, whole. Two processes
+//! flushing simultaneously may each miss the other's *newest* entries (last rename
+//! wins), but since each merge starts from the current file, nothing already on disk
+//! is ever lost, and a later flush from either process re-contributes the remainder.
+
+use crate::cache::{CacheKey, CachedOutcome, FailureKey, SequentKey};
+use crate::ProverId;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The store format version this build reads and writes. Bumped whenever the record
+/// layout, the canonical-form definition, or the fingerprint contents change
+/// incompatibly; files with any other version load as empty (with a warning).
+pub const STORE_VERSION: u32 = 1;
+
+/// Magic prefix of the header line, shared by every format version.
+const MAGIC: &str = "jahob-proof-store";
+
+/// The store file inside a [`CacheMode::Persistent`](crate::CacheMode::Persistent)
+/// directory. One fixed name per directory: the version lives in the file header (and
+/// a mismatched version cold-starts), so upgrades never leave stale files behind.
+pub fn store_path(dir: &Path) -> PathBuf {
+    dir.join("proof-store.jahob")
+}
+
+/// An in-flight snapshot of the cache's persistent contents: the verdict map entries
+/// and the failure-memo masks, as flat lists.
+#[derive(Debug, Default)]
+pub(crate) struct StoreData {
+    pub(crate) verdicts: Vec<(CacheKey, CachedOutcome)>,
+    pub(crate) failures: Vec<(FailureKey, u8)>,
+}
+
+/// Why a store file could not be loaded. Rendered into the one-line cold-start
+/// warning; never propagated as a failure.
+#[derive(Debug)]
+pub(crate) enum StoreError {
+    /// The file could not be read at all (permissions, I/O).
+    Io(std::io::Error),
+    /// The header names a format version this build does not know (a future build
+    /// wrote it, or the file is from an incompatible lineage).
+    Version(String),
+    /// The file is not a proof store, or a record is malformed or truncated.
+    Format { line: usize, reason: String },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "unreadable: {e}"),
+            StoreError::Version(v) => write!(
+                f,
+                "version mismatch: file has {v:?}, this build reads v{STORE_VERSION}"
+            ),
+            StoreError::Format { line, reason } => {
+                write!(f, "corrupt at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+/// Loads the store at `path` leniently: missing file → empty (silent); anything the
+/// strict parser rejects → empty plus a single stderr warning naming the path and
+/// the reason. This is the cold-start-never-crash contract of the dispatcher's
+/// construction-time load.
+pub(crate) fn load_or_warn(path: &Path) -> StoreData {
+    match load(path) {
+        Ok(data) => data,
+        Err(StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => StoreData::default(),
+        Err(e) => {
+            eprintln!(
+                "warning: ignoring proof store {} ({e}); starting cold",
+                path.display()
+            );
+            StoreData::default()
+        }
+    }
+}
+
+/// Strictly parses the store at `path`. All-or-nothing: any malformed record makes
+/// the whole file unusable (partial loads could replay a half-written verdict set as
+/// if it were complete).
+pub(crate) fn load(path: &Path) -> Result<StoreData, StoreError> {
+    let text = std::fs::read_to_string(path).map_err(StoreError::Io)?;
+    parse(&text)
+}
+
+fn parse(text: &str) -> Result<StoreData, StoreError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(StoreError::Format {
+        line: 1,
+        reason: "empty file".into(),
+    })?;
+    match header.strip_prefix(MAGIC).map(str::trim) {
+        Some(version) if version == format!("v{STORE_VERSION}") => {}
+        Some(version) => return Err(StoreError::Version(version.to_string())),
+        None => {
+            return Err(StoreError::Format {
+                line: 1,
+                reason: format!("not a proof store (header {:?})", truncate(header)),
+            })
+        }
+    }
+    let mut data = StoreData::default();
+    let mut trailer = None;
+    for (index, line) in lines {
+        let lineno = index + 1;
+        if trailer.is_some() {
+            return Err(StoreError::Format {
+                line: lineno,
+                reason: "content after the end trailer".into(),
+            });
+        }
+        let err = |reason: &str| StoreError::Format {
+            line: lineno,
+            reason: reason.to_string(),
+        };
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields[0] {
+            "V" => {
+                if fields.len() != 10 {
+                    return Err(err("verdict record needs 10 fields"));
+                }
+                let key = CacheKey {
+                    config_fingerprint: unescape(fields[1]).ok_or_else(|| err("fingerprint"))?,
+                    sequent: SequentKey::from_repr(
+                        unescape(fields[2]).ok_or_else(|| err("sequent"))?,
+                    ),
+                    hinted: match fields[3] {
+                        "-" => None,
+                        tagged => Some(SequentKey::from_repr(
+                            tagged
+                                .strip_prefix('=')
+                                .and_then(unescape)
+                                .ok_or_else(|| err("hinted sequent"))?,
+                        )),
+                    },
+                    var_classes: unescape(fields[4]).ok_or_else(|| err("var classes"))?,
+                    lemma_registered: parse_bool(fields[5]).ok_or_else(|| err("lemma bit"))?,
+                };
+                let outcome = CachedOutcome {
+                    proved: parse_bool(fields[6]).ok_or_else(|| err("proved bit"))?,
+                    prover: match fields[7] {
+                        "-" => None,
+                        tag => Some(parse_prover(tag).ok_or_else(|| err("prover tag"))?),
+                    },
+                    attempted: parse_counts(fields[8]).ok_or_else(|| err("attempted counts"))?,
+                    skipped: parse_counts(fields[9]).ok_or_else(|| err("skipped counts"))?,
+                    from_disk: false, // stamped by `SequentCache::absorb`
+                };
+                data.verdicts.push((key, outcome));
+            }
+            "F" => {
+                if fields.len() != 4 {
+                    return Err(err("failure record needs 4 fields"));
+                }
+                let key = FailureKey {
+                    sequent: SequentKey::from_repr(
+                        unescape(fields[1]).ok_or_else(|| err("sequent"))?,
+                    ),
+                    var_classes: unescape(fields[2]).ok_or_else(|| err("var classes"))?,
+                };
+                let mask = fields[3].parse::<u8>().map_err(|_| err("failure mask"))?;
+                data.failures.push((key, mask));
+            }
+            "## end" => {
+                if fields.len() != 3 {
+                    return Err(err("end trailer needs 2 counts"));
+                }
+                let verdicts = fields[1].parse::<usize>().map_err(|_| err("count"))?;
+                let failures = fields[2].parse::<usize>().map_err(|_| err("count"))?;
+                if verdicts != data.verdicts.len() || failures != data.failures.len() {
+                    return Err(err("record counts disagree with the trailer (truncated?)"));
+                }
+                trailer = Some(());
+            }
+            _ => return Err(err("unknown record type")),
+        }
+    }
+    if trailer.is_none() {
+        return Err(StoreError::Format {
+            line: text.lines().count(),
+            reason: "missing end trailer (truncated?)".into(),
+        });
+    }
+    Ok(data)
+}
+
+/// Merge-writes `live` into the store at `path`: existing parseable contents are
+/// read back and the live snapshot overlaid (live verdicts win, failure masks OR),
+/// then the union is written to a temp file in the same directory and atomically
+/// renamed over the store. Returns the number of verdict records written. A corrupt
+/// existing file is warned about and overwritten (it contributed nothing to loads
+/// either).
+pub(crate) fn merge_write(path: &Path, live: StoreData) -> std::io::Result<usize> {
+    let mut verdicts: HashMap<CacheKey, CachedOutcome> = HashMap::new();
+    let mut failures: HashMap<FailureKey, u8> = HashMap::new();
+    let existing = load_or_warn(path);
+    for (key, outcome) in existing.verdicts.into_iter().chain(live.verdicts) {
+        verdicts.insert(key, outcome);
+    }
+    for (key, mask) in existing.failures.into_iter().chain(live.failures) {
+        *failures.entry(key).or_insert(0) |= mask;
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{MAGIC} v{STORE_VERSION}\n"));
+    // Deterministic record order: identical cache contents always serialize to the
+    // identical file, so stores can be diffed (and committed) meaningfully.
+    let mut verdicts: Vec<_> = verdicts.into_iter().collect();
+    verdicts.sort_by(|(a, _), (b, _)| {
+        (a.sequent.repr(), &a.config_fingerprint, &a.var_classes).cmp(&(
+            b.sequent.repr(),
+            &b.config_fingerprint,
+            &b.var_classes,
+        ))
+    });
+    let mut failures: Vec<_> = failures.into_iter().collect();
+    failures.sort_by(|(a, _), (b, _)| {
+        (a.sequent.repr(), &a.var_classes).cmp(&(b.sequent.repr(), &b.var_classes))
+    });
+    let written = verdicts.len();
+    for (key, outcome) in &verdicts {
+        out.push_str(&format!(
+            "V\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            escape(&key.config_fingerprint),
+            escape(key.sequent.repr()),
+            match &key.hinted {
+                None => "-".to_string(),
+                Some(h) => format!("={}", escape(h.repr())),
+            },
+            escape(&key.var_classes),
+            key.lemma_registered as u8,
+            outcome.proved as u8,
+            outcome.prover.map_or("-", prover_tag),
+            render_counts(&outcome.attempted),
+            render_counts(&outcome.skipped),
+        ));
+    }
+    for (key, mask) in &failures {
+        out.push_str(&format!(
+            "F\t{}\t{}\t{mask}\n",
+            escape(key.sequent.repr()),
+            escape(&key.var_classes),
+        ));
+    }
+    out.push_str(&format!("## end\t{}\t{}\n", written, failures.len()));
+
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    // Unique temp name per process *and* per write, so two flushing processes never
+    // scribble into each other's temp file; the rename is the only visible step.
+    static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{}",
+        std::process::id(),
+        WRITE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(out.as_bytes())?;
+    file.sync_all()?;
+    drop(file);
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(written),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// The stable serialization tag of a prover (display names are presentation, not
+/// format).
+fn prover_tag(prover: ProverId) -> &'static str {
+    match prover {
+        ProverId::Syntactic => "syntactic",
+        ProverId::Mona => "mona",
+        ProverId::Smt => "smt",
+        ProverId::Fol => "fol",
+        ProverId::Bapa => "bapa",
+        ProverId::Interactive => "interactive",
+    }
+}
+
+fn parse_prover(tag: &str) -> Option<ProverId> {
+    Some(match tag {
+        "syntactic" => ProverId::Syntactic,
+        "mona" => ProverId::Mona,
+        "smt" => ProverId::Smt,
+        "fol" => ProverId::Fol,
+        "bapa" => ProverId::Bapa,
+        "interactive" => ProverId::Interactive,
+        _ => return None,
+    })
+}
+
+fn render_counts(counts: &[(ProverId, usize)]) -> String {
+    counts
+        .iter()
+        .map(|(prover, n)| format!("{}:{n}", prover_tag(*prover)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_counts(field: &str) -> Option<Vec<(ProverId, usize)>> {
+    if field.is_empty() {
+        return Some(Vec::new());
+    }
+    field
+        .split(',')
+        .map(|part| {
+            let (tag, n) = part.split_once(':')?;
+            Some((parse_prover(tag)?, n.parse().ok()?))
+        })
+        .collect()
+}
+
+fn parse_bool(field: &str) -> Option<bool> {
+    match field {
+        "0" => Some(false),
+        "1" => Some(true),
+        _ => None,
+    }
+}
+
+/// Escapes a string field: backslash escapes for the record separator (tab), line
+/// separators and backslash itself, so canonical sequent texts survive the
+/// line-oriented format byte-exactly.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`]; `None` on a dangling or unknown escape (corrupt record).
+fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn truncate(s: &str) -> String {
+    s.chars().take(40).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StoreData {
+        let key = |fp: &str, sequent: &str| CacheKey {
+            sequent: SequentKey::from_repr(sequent.to_string()),
+            hinted: Some(SequentKey::from_repr("p |- q".to_string())),
+            var_classes: "S:content;".to_string(),
+            lemma_registered: false,
+            config_fingerprint: fp.to_string(),
+        };
+        StoreData {
+            verdicts: vec![
+                (
+                    key("order=A|hints=true|route=true", "a |- b"),
+                    CachedOutcome {
+                        proved: true,
+                        prover: Some(ProverId::Bapa),
+                        attempted: vec![(ProverId::Syntactic, 1), (ProverId::Bapa, 1)],
+                        skipped: vec![(ProverId::Mona, 1)],
+                        from_disk: false,
+                    },
+                ),
+                (
+                    key("order=A|hints=true|route=false", "odd\\chars\there |- g"),
+                    CachedOutcome {
+                        proved: false,
+                        prover: None,
+                        attempted: Vec::new(),
+                        skipped: Vec::new(),
+                        from_disk: false,
+                    },
+                ),
+            ],
+            failures: vec![(
+                FailureKey {
+                    sequent: SequentKey::from_repr("a |- b".to_string()),
+                    var_classes: String::new(),
+                },
+                0b101,
+            )],
+        }
+    }
+
+    fn temp_store(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("jahob-store-unit-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        store_path(&dir)
+    }
+
+    #[test]
+    fn round_trips_through_the_file_format() {
+        let path = temp_store("roundtrip");
+        merge_write(&path, sample()).expect("write");
+        let loaded = load(&path).expect("load");
+        let original = sample();
+        assert_eq!(loaded.verdicts.len(), original.verdicts.len());
+        assert_eq!(loaded.failures.len(), original.failures.len());
+        for (key, outcome) in &original.verdicts {
+            let (_, reloaded) = loaded
+                .verdicts
+                .iter()
+                .find(|(k, _)| k == key)
+                .expect("key survives byte-exactly, escapes included");
+            assert_eq!(reloaded, outcome);
+        }
+        assert_eq!(loaded.failures[0].1, 0b101);
+    }
+
+    #[test]
+    fn merge_write_unions_and_live_entries_win() {
+        let path = temp_store("merge");
+        merge_write(&path, sample()).expect("first write");
+        // A second snapshot: one colliding verdict flipped, one new failure bit.
+        let mut second = StoreData::default();
+        let collide = sample().verdicts.remove(0);
+        second.verdicts.push((
+            collide.0.clone(),
+            CachedOutcome {
+                prover: Some(ProverId::Smt),
+                ..collide.1
+            },
+        ));
+        second.failures.push((
+            FailureKey {
+                sequent: SequentKey::from_repr("a |- b".to_string()),
+                var_classes: String::new(),
+            },
+            0b010,
+        ));
+        merge_write(&path, second).expect("merge write");
+        let merged = load(&path).expect("load");
+        assert_eq!(
+            merged.verdicts.len(),
+            2,
+            "union keeps the other fingerprint"
+        );
+        let (_, winner) = merged
+            .verdicts
+            .iter()
+            .find(|(k, _)| k == &collide.0)
+            .expect("collided key present");
+        assert_eq!(winner.prover, Some(ProverId::Smt), "live entry wins");
+        assert_eq!(merged.failures[0].1, 0b111, "failure masks OR together");
+    }
+
+    #[test]
+    fn deterministic_serialization() {
+        let a = temp_store("det-a");
+        let b = temp_store("det-b");
+        merge_write(&a, sample()).expect("write a");
+        merge_write(&b, sample()).expect("write b");
+        assert_eq!(
+            std::fs::read_to_string(&a).unwrap(),
+            std::fs::read_to_string(&b).unwrap(),
+            "identical contents serialize identically"
+        );
+    }
+
+    #[test]
+    fn missing_file_loads_empty_and_silent() {
+        let path = temp_store("missing");
+        let data = load_or_warn(&path);
+        assert!(data.verdicts.is_empty() && data.failures.is_empty());
+    }
+
+    #[test]
+    fn truncated_file_is_rejected_naming_the_reason() {
+        let path = temp_store("truncated");
+        merge_write(&path, sample()).expect("write");
+        let full = std::fs::read_to_string(&path).unwrap();
+        // Cut mid-way: drop the trailer and half a record.
+        let cut = &full[..full.len() - full.lines().last().unwrap().len() - 10];
+        std::fs::write(&path, cut).unwrap();
+        let err = load(&path).expect_err("truncated store must not parse");
+        let text = err.to_string();
+        assert!(
+            text.contains("truncated") || text.contains("corrupt"),
+            "{text}"
+        );
+        assert!(
+            load_or_warn(&path).verdicts.is_empty(),
+            "lenient load is empty"
+        );
+    }
+
+    #[test]
+    fn garbage_file_is_rejected() {
+        let path = temp_store("garbage");
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).unwrap();
+        }
+        std::fs::write(&path, "not a store\nat all\n").unwrap();
+        let err = load(&path).expect_err("garbage must not parse");
+        assert!(err.to_string().contains("not a proof store"), "{err}");
+    }
+
+    #[test]
+    fn future_version_is_rejected_naming_both_versions() {
+        let path = temp_store("future");
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).unwrap();
+        }
+        std::fs::write(&path, format!("{MAGIC} v999\nV\twhatever\n")).unwrap();
+        let err = load(&path).expect_err("future version must not parse");
+        let text = err.to_string();
+        assert!(text.contains("v999"), "{text}");
+        assert!(text.contains(&format!("v{STORE_VERSION}")), "{text}");
+        // And a corrupt-on-write store is overwritten, not merged with.
+        merge_write(&path, sample()).expect("flush over a future-version file");
+        assert_eq!(load(&path).expect("recovered").verdicts.len(), 2);
+    }
+
+    #[test]
+    fn trailer_count_mismatch_is_rejected() {
+        let path = temp_store("trailer");
+        merge_write(&path, sample()).expect("write");
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        // Drop one record line but keep the trailer: counts now disagree.
+        let victim = text
+            .lines()
+            .find(|l| l.starts_with('F'))
+            .unwrap()
+            .to_string();
+        text = text.replace(&format!("{victim}\n"), "");
+        std::fs::write(&path, text).unwrap();
+        let err = load(&path).expect_err("count mismatch must not parse");
+        assert!(err.to_string().contains("trailer"), "{err}");
+    }
+
+    #[test]
+    fn escape_round_trips_control_characters() {
+        for s in ["", "plain", "a\tb", "a\nb\r\\c", "\\t", "trailing\\"] {
+            assert_eq!(unescape(&escape(s)).as_deref(), Some(s), "{s:?}");
+        }
+        assert_eq!(unescape("dangling\\"), None);
+        assert_eq!(unescape("bad\\q"), None);
+    }
+}

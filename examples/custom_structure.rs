@@ -5,8 +5,8 @@
 //! Run with `cargo run --example custom_structure`.
 
 use jahob_repro::frontend::{ClassDef, Expr, JavaType, Lvalue, MethodBuilder, Program, Stmt};
-use jahob_repro::jahob::{verify_program, VerifyOptions};
 use jahob_repro::logic::parse_form;
+use jahob_repro::prelude::*;
 
 fn main() {
     let stack = ClassDef::new("BoundedStack")
@@ -44,7 +44,6 @@ fn main() {
                 .build(),
         );
     let program = Program::new(vec![stack]);
-    for result in verify_program(&program, &VerifyOptions::default()) {
-        println!("{}", result.render());
-    }
+    let report = Verifier::new().verify(&program);
+    println!("{}", report.render());
 }

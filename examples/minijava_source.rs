@@ -1,13 +1,13 @@
 //! Verifying a data structure written as MiniJava+spec *source text*.
 //!
 //! This is the input format the paper shows in Figures 2–6: a Java class whose
-//! specification lives in `/*: ... */` and `//: ...` comments. The example parses the
-//! source with `jahob_frontend::parse_program`, runs the full pipeline, and prints a
-//! Figure 7-style report per method.
+//! specification lives in `/*: ... */` and `//: ...` comments. The example hands the
+//! source text to `Verifier::verify_source` — parse → batch → prove → report in one
+//! call — and prints a Figure 7-style report per method.
 //!
 //! Run with `cargo run --example minijava_source`.
 
-use jahob_repro::jahob::{verify_program, VerifyOptions};
+use jahob_repro::prelude::*;
 
 const GLOBAL_STACK: &str = r#"
     public class GlobalStack {
@@ -59,17 +59,14 @@ const GLOBAL_STACK: &str = r#"
 "#;
 
 fn main() {
-    let program = jahob_repro::frontend::parse_program(GLOBAL_STACK)
+    let verifier = Verifier::new();
+    let report = verifier
+        .verify_source(GLOBAL_STACK)
         .expect("the embedded source is well-formed");
-    let options = VerifyOptions::default();
-    let mut verified = 0usize;
-    let mut total = 0usize;
-    for result in verify_program(&program, &options) {
-        println!("{}", result.render());
-        total += 1;
-        if result.verified() {
-            verified += 1;
-        }
-    }
-    println!("{verified} of {total} methods fully verified from MiniJava source.");
+    println!("{}", report.render());
+    let verified = report.methods.iter().filter(|m| m.verified()).count();
+    println!(
+        "{verified} of {} methods fully verified from MiniJava source.",
+        report.methods.len()
+    );
 }

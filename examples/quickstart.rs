@@ -1,17 +1,21 @@
 //! Quickstart: verify a tiny annotated data structure end to end.
 //!
-//! Builds a singly linked list with a set interface, runs the full Jahob pipeline
+//! Builds a singly linked list with a set interface and runs the full Jahob pipeline
 //! (frontend → guarded commands → weakest preconditions → splitting → integrated
-//! reasoning) and prints a Figure 7-style verification report per method.
+//! reasoning) through the one-call `Verifier` facade, printing a Figure 7-style
+//! verification report per method.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use jahob_repro::jahob::{verify_program, VerifyOptions};
+use jahob_repro::prelude::*;
 
 fn main() {
-    let program = jahob_repro::jahob::suite::singly_linked_list();
-    let options = VerifyOptions::default();
-    for result in verify_program(&program, &options) {
-        println!("{}", result.render());
-    }
+    let verifier = Verifier::new();
+    let report = verifier.verify(&suite::singly_linked_list());
+    println!("{}", report.render());
+    println!(
+        "{} of {} sequents proved.",
+        report.proved_sequents(),
+        report.total_sequents()
+    );
 }

@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run --example sized_list`.
 
-use jahob_repro::jahob::{suite, verify_program, VerifyOptions};
+use jahob_repro::prelude::*;
 
 fn main() {
     let program = suite::sized_list();

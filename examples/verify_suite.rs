@@ -7,19 +7,32 @@
 //! The dispatcher knobs are read from the environment (see
 //! `DispatcherConfig::with_env_overrides`): `JAHOB_THREADS=4 JAHOB_CACHE=on` runs the
 //! work-stealing parallel path with the canonical-form result cache, `JAHOB_CACHE=off`
-//! measures the uncached baseline, and `JAHOB_GRANULARITY=n` batches queue claims.
+//! measures the uncached baseline, `JAHOB_GRANULARITY=n` batches queue claims, and
+//! `JAHOB_CACHE_DIR=dir` warm-starts from (and flushes back to) the persistent proof
+//! store — run the example twice with the same directory to see the second run answer
+//! the suite from disk.
 
-use jahob_repro::jahob::{render_figure15, run_suite, VerifyOptions};
+use jahob_repro::prelude::*;
 
 fn main() {
-    let options = VerifyOptions::default();
+    let verifier = Verifier::new();
     println!(
         "dispatcher: threads={} cache={} granularity={}",
-        options.dispatcher.threads, options.dispatcher.cache, options.dispatcher.granularity
+        verifier.config().threads,
+        verifier.config().cache,
+        verifier.config().granularity
     );
-    let rows = run_suite(&options);
+    let rows = verifier.verify_suite();
     println!("{}", render_figure15(&rows));
     let total: usize = rows.iter().map(|r| r.total_sequents).sum();
     let proved: usize = rows.iter().map(|r| r.proved_sequents).sum();
     println!("Across the suite: {proved} of {total} sequents proved automatically.");
+    if verifier.config().cache.persistent_dir().is_some() {
+        let disk: usize = rows.iter().map(|r| r.cache_disk_hits).sum();
+        println!("Persistent store: {disk} of {total} obligations answered from disk.");
+        match verifier.flush() {
+            Ok(entries) => println!("Persistent store flushed ({entries} verdict entries)."),
+            Err(e) => eprintln!("warning: failed to flush the proof store: {e}"),
+        }
+    }
 }

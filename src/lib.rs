@@ -1,8 +1,20 @@
 //! Umbrella crate for the Jahob reproduction workspace.
 //!
 //! Re-exports the public crates so the root `examples/` and `tests/` can use a single
-//! dependency. See the individual crates for documentation.
+//! dependency, plus the driver's [`prelude`] (the `Verifier` facade and the typed
+//! configuration surface) as the recommended one-import entry point:
+//!
+//! ```
+//! use jahob_repro::prelude::*;
+//!
+//! let verifier = Verifier::with_config(DispatcherConfig::builder().build());
+//! let rows = verifier.verify_suite();
+//! assert!(!rows.is_empty());
+//! ```
+//!
+//! See the individual crates for documentation.
 pub use jahob;
+pub use jahob::prelude;
 pub use jahob_arith as arith;
 pub use jahob_automata as automata;
 pub use jahob_bapa as bapa;

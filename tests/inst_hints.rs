@@ -59,12 +59,19 @@ fn strip_inst_hints(program: &Program) -> Program {
 }
 
 fn options(threads: usize, cache: bool, route: bool) -> VerifyOptions {
-    let mut opts = VerifyOptions {
-        dispatcher: jahob::DispatcherConfig::pinned(threads, cache, 1),
-        ..VerifyOptions::default()
+    let mode = if cache {
+        jahob::CacheMode::Memory
+    } else {
+        jahob::CacheMode::Off
     };
-    opts.dispatcher.route = route;
-    opts
+    VerifyOptions {
+        dispatcher: jahob::DispatcherConfig::builder()
+            .threads(threads)
+            .cache(mode)
+            .route(route)
+            .build(),
+        ..VerifyOptions::default()
+    }
 }
 
 #[test]

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Assert the persistent proof store warm start actually happened.
+
+Usage: check_warm_start.py COLD_RUN_LOG WARM_RUN_LOG
+
+Both logs are the stdout of `cargo run --example verify_suite` executed with
+JAHOB_CACHE_DIR set; the example prints one line per run of the form
+
+    Persistent store: X of Y obligations answered from disk.
+
+The cold run (empty store directory) must report 0 disk answers; the warm run
+(second run against the same directory) must cover at least 90% of the suite's
+obligations from disk. Exits non-zero, naming the offending log, otherwise.
+"""
+
+import re
+import sys
+
+LINE = re.compile(
+    r"Persistent store: (\d+) of (\d+) obligations answered from disk\."
+)
+
+
+def parse(path: str) -> tuple[int, int]:
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    m = LINE.search(text)
+    if not m:
+        sys.exit(f"{path}: no 'Persistent store: X of Y' line found")
+    return int(m.group(1)), int(m.group(2))
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} COLD_RUN_LOG WARM_RUN_LOG")
+    cold_path, warm_path = sys.argv[1], sys.argv[2]
+
+    cold_disk, cold_total = parse(cold_path)
+    if cold_total == 0:
+        sys.exit(f"{cold_path}: suite reported 0 obligations")
+    if cold_disk != 0:
+        sys.exit(
+            f"{cold_path}: cold run answered {cold_disk} obligations from disk; "
+            "the store directory was not empty"
+        )
+
+    warm_disk, warm_total = parse(warm_path)
+    if warm_total != cold_total:
+        sys.exit(
+            f"obligation counts disagree: cold run saw {cold_total}, "
+            f"warm run saw {warm_total}"
+        )
+    if warm_disk * 10 < warm_total * 9:
+        sys.exit(
+            f"{warm_path}: warm run answered only {warm_disk} of {warm_total} "
+            "obligations from disk (< 90%)"
+        )
+
+    print(
+        f"warm start OK: {warm_disk}/{warm_total} obligations answered from disk "
+        f"({100.0 * warm_disk / warm_total:.1f}%)"
+    )
+
+
+if __name__ == "__main__":
+    main()
