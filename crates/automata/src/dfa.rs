@@ -67,6 +67,14 @@ impl Dfa {
         1usize << self.num_tracks
     }
 
+    /// The size of this automaton in the state×symbol work units cooperative fuel
+    /// budgets are charged in: every transition-table entry a construction touches
+    /// costs one unit, so charging `work_cost()` per intermediate automaton bounds
+    /// the total construction effort a budgeted caller can spend.
+    pub fn work_cost(&self) -> u64 {
+        self.num_states() as u64 * self.num_symbols() as u64
+    }
+
     /// The initial state.
     pub fn initial(&self) -> State {
         self.initial

@@ -75,6 +75,15 @@ fn ablations(c: &mut Criterion) {
         opts.dispatcher.route = route;
         c.bench_function(name, |b| b.iter(|| run_suite(&opts)));
     }
+    // The fuel-budget axis: the routed suite with budgets forced off measures what
+    // the measured cost model and the MONA/FOL fuel buy over plain static routing
+    // (`suite_route_on` above runs with the budgets baseline, i.e. on).
+    let mut unbudgeted = options(1, false);
+    unbudgeted.dispatcher.route = true;
+    unbudgeted.dispatcher.budgets = false;
+    c.bench_function("ablation/suite_budgets_off", |b| {
+        b.iter(|| run_suite(&unbudgeted))
+    });
 
     // The scaling ablations run the whole Figure 15 suite: the cache only pays off when
     // obligations recur across methods, and load balance only matters when obligation

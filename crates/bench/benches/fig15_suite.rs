@@ -61,6 +61,17 @@ fn fig15(c: &mut Criterion) {
     criterion::record_metric("suite_cache_hits", hits as f64);
     criterion::record_metric("suite_cache_misses", misses as f64);
     criterion::record_metric("suite_failure_skips", skipped as f64);
+    // The fuel-budget gauges: aborts prove the budgets engage, rescue retries bound
+    // the completeness cost (each is one extra unbudgeted cascade), and the
+    // `routing-efficiency` CI job asserts both against this file.
+    criterion::record_metric(
+        "suite_budget_aborts",
+        jahob::suite_budget_aborts(&rows) as f64,
+    );
+    criterion::record_metric(
+        "suite_rescue_retries",
+        jahob::suite_rescue_retries(&rows) as f64,
+    );
 }
 
 criterion_group! {

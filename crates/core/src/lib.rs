@@ -152,6 +152,9 @@ pub struct SuiteRow {
     pub cache_disk_hits: usize,
     /// Sequents that fell through the cache to the provers (0 when caching is off).
     pub cache_misses: usize,
+    /// Sequents retried in the dispatcher's unbudgeted rescue pass after a budgeted
+    /// cascade failed with fuel aborts (0 with budgets off).
+    pub rescue_retries: usize,
     /// Total verification time.
     pub total_time: Duration,
 }
@@ -167,6 +170,7 @@ impl SuiteRow {
             cache_hits: 0,
             cache_disk_hits: 0,
             cache_misses: 0,
+            rescue_retries: 0,
             total_time: Duration::ZERO,
         };
         for r in results {
@@ -176,6 +180,7 @@ impl SuiteRow {
                 e.attempted += s.attempted;
                 e.cache_hits += s.cache_hits;
                 e.skipped += s.skipped;
+                e.budget_aborts += s.budget_aborts;
                 e.time += s.time;
             }
             row.total_sequents += r.report.total_sequents;
@@ -183,6 +188,7 @@ impl SuiteRow {
             row.cache_hits += r.report.cache_hits;
             row.cache_disk_hits += r.report.cache_disk_hits;
             row.cache_misses += r.report.cache_misses;
+            row.rescue_retries += r.report.rescue_retries;
             row.total_time += r.report.total_time;
         }
         row
@@ -230,6 +236,24 @@ pub fn suite_failure_skips(rows: &[SuiteRow]) -> usize {
         .flat_map(|r| r.per_prover.values())
         .map(|s| s.skipped)
         .sum()
+}
+
+/// Total prover attempts aborted on a fuel budget across `rows`, all provers summed —
+/// the number behind the Figure 15 footer, the `suite_budget_aborts` bench metric and
+/// the `routing-efficiency` CI gauge (a healthy budgeted suite run aborts *some*
+/// hopeless attempts; zero means the budgets are not engaging).
+pub fn suite_budget_aborts(rows: &[SuiteRow]) -> usize {
+    rows.iter()
+        .flat_map(|r| r.per_prover.values())
+        .map(|s| s.budget_aborts)
+        .sum()
+}
+
+/// Total sequents retried in the unbudgeted rescue pass across `rows` — the
+/// completeness side of the fuel budgets: every sequent whose budgeted cascades
+/// aborted an attempt and still failed gets exactly one unbudgeted retry.
+pub fn suite_rescue_retries(rows: &[SuiteRow]) -> usize {
+    rows.iter().map(|r| r.rescue_retries).sum()
 }
 
 /// Renders suite rows as a Figure 15-style table. Each prover cell shows
@@ -307,6 +331,13 @@ pub fn render_figure15(rows: &[SuiteRow]) -> String {
     if skipped > 0 {
         out.push_str(&format!(
             "Failure memo: {skipped} dead prover attempts skipped across the suite.\n"
+        ));
+    }
+    let aborts = suite_budget_aborts(rows);
+    let rescues = suite_rescue_retries(rows);
+    if aborts > 0 || rescues > 0 {
+        out.push_str(&format!(
+            "Fuel budgets: {aborts} attempts aborted, {rescues} sequents rescued unbudgeted across the suite.\n"
         ));
     }
     out

@@ -79,6 +79,19 @@ pub struct FolResult {
     pub stats: ResolutionStats,
 }
 
+impl FolResult {
+    /// `true` when the attempt stopped on a resource limit (iteration/clause/time
+    /// budget) rather than reaching saturation or a proof — the verdict is
+    /// *unknown*, and a caller running with deliberately reduced
+    /// [`ResolutionLimits`] as a fuel budget should treat the attempt as aborted,
+    /// not failed. A translation overflow (`outcome == None`) is a genuine
+    /// rejection: larger saturation limits cannot help a sequent that never
+    /// produced clauses.
+    pub fn resource_limited(&self) -> bool {
+        self.outcome == Some(ResolutionOutcome::ResourceLimit)
+    }
+}
+
 /// Translates a sequent to clauses and attempts to refute them.
 pub fn prove_sequent(sequent: &Sequent, options: &FolOptions) -> FolResult {
     match sequent_to_clauses(sequent, &options.translate) {

@@ -30,11 +30,25 @@ use std::collections::BTreeMap;
 pub struct MonaOptions {
     /// Maximum number of distinct variables (tracks); the automaton alphabet is `2^n`.
     pub max_tracks: usize,
+    /// Work budget of the automata construction, in state×symbol units charged per
+    /// intermediate automaton ([`Dfa::work_cost`](jahob_automata::Dfa::work_cost));
+    /// `0` means unlimited. Exhausting it aborts the attempt cooperatively
+    /// ([`MonaResult::budget_exhausted`]) instead of proving anything — callers with
+    /// a fuel policy (the dispatcher's budgeted cascade) pass a reduced budget here
+    /// and retry unbudgeted when they must.
+    pub max_work: u64,
+    /// Per-automaton state cap of intermediate products/determinisations; exceeding
+    /// it also counts as budget exhaustion.
+    pub max_states: usize,
 }
 
 impl Default for MonaOptions {
     fn default() -> Self {
-        MonaOptions { max_tracks: 10 }
+        MonaOptions {
+            max_tracks: 10,
+            max_work: 4_000_000,
+            max_states: 768,
+        }
     }
 }
 
@@ -47,6 +61,11 @@ pub struct MonaResult {
     pub applicable: bool,
     /// The number of automaton tracks used.
     pub tracks: usize,
+    /// `true` when the attempt stopped because the automata construction ran out of
+    /// its work/state budget ([`MonaOptions::max_work`]/[`MonaOptions::max_states`])
+    /// — the verdict is *unknown*, not "not proved": a larger budget might decide
+    /// the sequent either way.
+    pub budget_exhausted: bool,
 }
 
 /// Attempts to prove a sequent with the WS1S decision procedure.
@@ -64,6 +83,7 @@ pub fn prove_sequent(sequent: &Sequent, options: &MonaOptions) -> MonaResult {
             proved: false,
             applicable: false,
             tracks: 0,
+            budget_exhausted: false,
         };
     }
     let implication = Form::implies(Form::and(assumptions), goal);
@@ -75,6 +95,7 @@ pub fn prove_sequent(sequent: &Sequent, options: &MonaOptions) -> MonaResult {
             proved: false,
             applicable: false,
             tracks: cx.vars.len(),
+            budget_exhausted: false,
         };
     };
     // `null` is modelled as a distinguished first-order position. Its identity is not
@@ -92,14 +113,16 @@ pub fn prove_sequent(sequent: &Sequent, options: &MonaOptions) -> MonaResult {
             proved: false,
             applicable: false,
             tracks,
+            budget_exhausted: false,
         };
     }
-    let decider = Decider::new(&ws);
-    let proved = matches!(decider.decide(&ws), Ws1sOutcome::Valid);
+    let decider = Decider::with_budget(&ws, options.max_work).with_max_states(options.max_states);
+    let outcome = decider.decide(&ws);
     MonaResult {
-        proved,
+        proved: matches!(outcome, Ws1sOutcome::Valid),
         applicable: true,
         tracks,
+        budget_exhausted: matches!(outcome, Ws1sOutcome::ResourceLimit),
     }
 }
 
@@ -371,7 +394,10 @@ mod tests {
 
     #[test]
     fn respects_track_limit() {
-        let opts = MonaOptions { max_tracks: 2 };
+        let opts = MonaOptions {
+            max_tracks: 2,
+            ..MonaOptions::default()
+        };
         let r = prove_sequent(&seq(&["a : s", "b : t", "c : u"], "a : s"), &opts);
         assert!(!r.applicable);
         assert!(

@@ -250,10 +250,7 @@ impl Decider {
                     return Ws1sOutcome::ResourceLimit;
                 };
                 constrained = next;
-                if self
-                    .charge(constrained.num_states() as u64 * constrained.num_symbols() as u64)
-                    .is_none()
-                {
+                if self.charge(constrained.work_cost()).is_none() {
                     return Ws1sOutcome::ResourceLimit;
                 }
             }
@@ -285,7 +282,7 @@ impl Decider {
     pub fn compile(&self, formula: &Ws1s) -> Option<Dfa> {
         let k = self.num_tracks();
         let charged = |d: Dfa| -> Option<Dfa> {
-            self.charge(d.num_states() as u64 * d.num_symbols() as u64)?;
+            self.charge(d.work_cost())?;
             Some(d)
         };
         match formula {
@@ -325,7 +322,7 @@ impl Decider {
                 let body = self
                     .compile(a)?
                     .intersect_bounded(&self.singleton(self.track(v)), self.max_states)?;
-                self.charge(body.num_states() as u64 * body.num_symbols() as u64)?;
+                self.charge(body.work_cost())?;
                 charged(
                     Nfa::from_dfa(&body)
                         .project(self.track(v))
@@ -343,7 +340,7 @@ impl Decider {
             }
             Ws1s::ExistsSet(v, a) => {
                 let body = self.compile(a)?;
-                self.charge(body.num_states() as u64 * body.num_symbols() as u64)?;
+                self.charge(body.work_cost())?;
                 charged(
                     Nfa::from_dfa(&body)
                         .project(self.track(v))

@@ -162,6 +162,13 @@ pub(crate) struct CachedOutcome {
     /// failure memo already knew them dead. Replayed alongside `attempted` so cached
     /// and uncached accounting stay field-for-field identical.
     pub skipped: Vec<(ProverId, usize)>,
+    /// The per-prover counts of attempts the original run aborted on fuel exhaustion
+    /// (budgeted cascade only). Replayed like `attempted`/`skipped` so cached and
+    /// uncached accounting agree.
+    pub budget_aborts: Vec<(ProverId, usize)>,
+    /// Whether the original run needed the unbudgeted rescue pass for this
+    /// obligation. Replayed into `VerificationReport::rescue_retries`.
+    pub rescued: bool,
     /// Whether the entry was loaded from the persistent on-disk store rather than
     /// computed by this process. Not serialized — set by [`SequentCache::absorb`] so
     /// hits on warm-started entries can be attributed separately
@@ -499,6 +506,8 @@ mod tests {
             prover: Some(ProverId::Syntactic),
             attempted: vec![(ProverId::Syntactic, 1)],
             skipped: Vec::new(),
+            budget_aborts: Vec::new(),
+            rescued: false,
             from_disk: false,
         };
         cache.insert(key.clone(), outcome.clone());

@@ -52,11 +52,13 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod costmodel;
 pub mod inst;
 pub mod router;
 pub mod store;
 
 pub use cache::{CacheStats, SequentCache, SequentKey};
+pub use costmodel::{cost_model_path, CostModel, CostStat, COST_MODEL_VERSION};
 pub use store::{store_path, STORE_VERSION};
 
 use cache::{CacheKey, CachedOutcome, FailureKey};
@@ -374,6 +376,17 @@ pub struct DispatcherConfig {
     /// permutation of `order` — demoted provers still run as a fallback — so it changes
     /// attempt counts and attribution, never which sequents are proved.
     pub route: bool,
+    /// Measured-cost routing plus fuel-budgeted attempts. With `true` (the baseline),
+    /// the dispatcher times every attempt into its [`CostModel`] (committed between
+    /// batches; routed orders are frozen within one), routes by expected
+    /// cost-to-discharge ([`router::route_with_model`] — identical to the static
+    /// order until cells calibrate), and gives the expensive provers (MONA, FOL)
+    /// feature-dependent fuel so hopeless attempts abort early. Any obligation left
+    /// unproved after a cascade with aborts is retried in an **unbudgeted rescue
+    /// pass**, so budgets can change attempt counts and times, never verdicts — the
+    /// budgets differential test pins this. `false` restores the pre-cost-model
+    /// behaviour exactly (static routing, unlimited attempts, no timing collection).
+    pub budgets: bool,
 }
 
 impl Default for DispatcherConfig {
@@ -445,6 +458,13 @@ impl DispatcherConfigBuilder {
         self
     }
 
+    /// Enables or disables the measured cost model and fuel-budgeted attempts (with
+    /// the completeness-preserving rescue pass). See [`DispatcherConfig::budgets`].
+    pub fn budgets(mut self, budgets: bool) -> Self {
+        self.config.budgets = budgets;
+        self
+    }
+
     /// Applies the `JAHOB_*` environment overrides **on top of** everything set so
     /// far (see [`DispatcherConfig::with_env_overrides`]). Call it last: knobs set
     /// after it win over the environment again.
@@ -472,6 +492,7 @@ impl DispatcherConfig {
                 cache: CacheMode::Memory,
                 granularity: 1,
                 route: true,
+                budgets: true,
             },
         }
     }
@@ -497,13 +518,14 @@ impl DispatcherConfig {
     }
 
     /// Applies the `JAHOB_THREADS`, `JAHOB_CACHE`, `JAHOB_CACHE_DIR`,
-    /// `JAHOB_GRANULARITY` and `JAHOB_ROUTE` environment variables on top of `self`
-    /// and returns the result. Unset variables leave the corresponding field
-    /// untouched; a set-but-invalid value also leaves the field untouched but prints
-    /// a one-line warning to stderr naming the variable and the rejected value (a
-    /// silently ignored typo like `JAHOB_CACHE=ture` used to make a whole ablation
-    /// run measure the wrong thing). `JAHOB_CACHE` and `JAHOB_ROUTE` accept
-    /// `1`/`on`/`true`/`yes` and `0`/`off`/`false`/`no` (case-insensitive).
+    /// `JAHOB_GRANULARITY`, `JAHOB_ROUTE` and `JAHOB_BUDGETS` environment variables
+    /// on top of `self` and returns the result. Unset variables leave the
+    /// corresponding field untouched; a set-but-invalid value also leaves the field
+    /// untouched but prints a one-line warning to stderr naming the variable and the
+    /// rejected value (a silently ignored typo like `JAHOB_CACHE=ture` used to make
+    /// a whole ablation run measure the wrong thing). `JAHOB_CACHE`, `JAHOB_ROUTE`
+    /// and `JAHOB_BUDGETS` accept `1`/`on`/`true`/`yes` and `0`/`off`/`false`/`no`
+    /// (case-insensitive).
     ///
     /// `JAHOB_CACHE_DIR=<dir>` upgrades the cache to
     /// [`CacheMode::Persistent`]` { dir, flush: true }` — the on-disk proof store
@@ -536,6 +558,9 @@ impl DispatcherConfig {
         if let Some(route) = env_knob("JAHOB_ROUTE", parse_switch_knob) {
             self.route = route;
         }
+        if let Some(budgets) = env_knob("JAHOB_BUDGETS", parse_switch_knob) {
+            self.budgets = budgets;
+        }
         self
     }
 
@@ -546,10 +571,11 @@ impl DispatcherConfig {
     fn fingerprint(&self) -> String {
         let order: Vec<&str> = self.order.iter().map(|p| p.display_name()).collect();
         format!(
-            "order={}|hints={}|route={}",
+            "order={}|hints={}|route={}|budgets={}",
             order.join(","),
             self.use_hints,
-            self.route
+            self.route,
+            self.budgets
         )
     }
 }
@@ -630,6 +656,10 @@ pub struct ProverStats {
     /// this prover fails on the canonicalized sequent. Not counted in `attempted` —
     /// the prover never ran.
     pub skipped: usize,
+    /// Of `attempted`, how many ran out of fuel ([`DispatcherConfig::budgets`]) and
+    /// were aborted rather than allowed to fail. Aborted attempts never enter the
+    /// failure memo — the verdict is unknown, not negative.
+    pub budget_aborts: usize,
     /// Total time spent in this prover.
     pub time: Duration,
 }
@@ -656,6 +686,10 @@ pub struct VerificationReport {
     /// Obligations that fell through the cache to the provers during this run. Both
     /// counters stay 0 when caching is disabled.
     pub cache_misses: usize,
+    /// Sequents whose budgeted cascades all failed with at least one fuel abort and
+    /// that were therefore retried in the unbudgeted rescue pass (one per sequent,
+    /// whatever the rescue verdict). Always 0 with budgets off.
+    pub rescue_retries: usize,
     /// Total wall-clock time of the run.
     pub total_time: Duration,
 }
@@ -669,6 +703,11 @@ impl VerificationReport {
     /// Total prover attempts avoided by the failure memo across all provers.
     pub fn failure_skips(&self) -> usize {
         self.per_prover.values().map(|s| s.skipped).sum()
+    }
+
+    /// Total prover attempts aborted on a fuel budget across all provers.
+    pub fn budget_aborts(&self) -> usize {
+        self.per_prover.values().map(|s| s.budget_aborts).sum()
     }
 
     /// Renders the report in the style of Figure 7 of the paper. When the result cache
@@ -722,6 +761,13 @@ impl VerificationReport {
                 self.failure_skips()
             ));
         }
+        if self.budget_aborts() > 0 || self.rescue_retries > 0 {
+            out.push_str(&format!(
+                "Fuel budgets: {} attempts aborted, {} sequents rescued unbudgeted.\n",
+                self.budget_aborts(),
+                self.rescue_retries
+            ));
+        }
         if self.succeeded() {
             out.push_str(&format!("[{task_name}]\n0=== Verification SUCCEEDED.\n"));
         } else {
@@ -743,6 +789,7 @@ impl VerificationReport {
             entry.attempted += s.attempted;
             entry.cache_hits += s.cache_hits;
             entry.skipped += s.skipped;
+            entry.budget_aborts += s.budget_aborts;
             entry.time += s.time;
         }
         self.total_sequents += other.total_sequents;
@@ -751,6 +798,7 @@ impl VerificationReport {
         self.cache_hits += other.cache_hits;
         self.cache_disk_hits += other.cache_disk_hits;
         self.cache_misses += other.cache_misses;
+        self.rescue_retries += other.rescue_retries;
         self.total_time += other.total_time;
     }
 }
@@ -791,10 +839,12 @@ impl BatchReport {
 }
 
 /// The persistent-store attachment shared by a dispatcher and its clones: where to
-/// merge-write, and whether dropping the last sharer should do it implicitly.
+/// merge-write the proof store and the cost-model profile, and whether dropping the
+/// last sharer should do it implicitly.
 #[derive(Debug)]
 struct StoreHandle {
     path: PathBuf,
+    model_path: PathBuf,
     flush_on_drop: bool,
 }
 
@@ -812,6 +862,10 @@ pub struct Dispatcher {
     cache: Arc<SequentCache>,
     batches: Arc<AtomicUsize>,
     store: Option<Arc<StoreHandle>>,
+    /// Measured attempt costs, shared by clones like the cache. Observations are
+    /// buffered during a batch and committed only between batches, so every routed
+    /// order within one `prove_all` is computed against a frozen model.
+    model: Arc<CostModel>,
 }
 
 impl Default for Dispatcher {
@@ -831,11 +885,15 @@ impl Dispatcher {
     /// silent cold start; corrupt or version-mismatched file = warned cold start).
     pub fn with_config(config: DispatcherConfig) -> Self {
         let cache = Arc::new(SequentCache::new());
+        let model = Arc::new(CostModel::new());
         let store = if let CacheMode::Persistent { dir, flush } = &config.cache {
             let path = store_path(dir);
             cache.absorb(store::load_or_warn(&path));
+            let model_path = costmodel::cost_model_path(dir);
+            model.absorb(costmodel::load_or_warn(&model_path));
             Some(Arc::new(StoreHandle {
                 path,
+                model_path,
                 flush_on_drop: *flush,
             }))
         } else {
@@ -846,6 +904,7 @@ impl Dispatcher {
             cache,
             batches: Arc::new(AtomicUsize::new(0)),
             store,
+            model,
         }
     }
 
@@ -858,7 +917,13 @@ impl Dispatcher {
     /// writing).
     pub fn flush_store(&self) -> std::io::Result<usize> {
         match &self.store {
-            Some(handle) => store::merge_write(&handle.path, self.cache.export()),
+            Some(handle) => {
+                self.model.commit();
+                if !self.model.is_empty() {
+                    costmodel::merge_write(&handle.model_path, self.model.export())?;
+                }
+                store::merge_write(&handle.path, self.cache.export())
+            }
             None => Ok(0),
         }
     }
@@ -879,6 +944,16 @@ impl Drop for Dispatcher {
                         handle.path.display()
                     );
                 }
+                self.model.commit();
+                if !self.model.is_empty() {
+                    if let Err(e) = costmodel::merge_write(&handle.model_path, self.model.export())
+                    {
+                        eprintln!(
+                            "warning: failed to flush cost model {}: {e}",
+                            handle.model_path.display()
+                        );
+                    }
+                }
             }
         }
     }
@@ -896,6 +971,13 @@ impl Dispatcher {
     /// The result cache shared by this dispatcher and all its clones.
     pub fn cache(&self) -> &SequentCache {
         &self.cache
+    }
+
+    /// The measured cost model shared by this dispatcher and all its clones. Empty
+    /// until a budgeted batch completes (or, under [`CacheMode::Persistent`], until
+    /// a profile is warm-loaded from `cost-model.jahob` at construction).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.model
     }
 
     /// Number of `prove_all` calls this dispatcher (and its clones) has dispatched.
@@ -956,6 +1038,10 @@ impl Dispatcher {
                 })
                 .collect()
         };
+        // The batch boundary is the only place observations become visible: routed
+        // orders within the batch were all computed against the model as of its
+        // start, so per-obligation results are independent of dispatch order.
+        self.model.commit();
         BatchReport {
             per_obligation: entries
                 .iter()
@@ -986,13 +1072,25 @@ impl Dispatcher {
     /// batch).
     fn prove_entry(&self, entry: &BatchEntry) -> VerificationReport {
         let start = Instant::now();
-        let mut report = self.prove_one(&entry.obligation, &entry.context);
+        let mut report = self.prove_one_inner(&entry.obligation, &entry.context);
         report.total_time = start.elapsed();
         report
     }
 
     /// Attempts one obligation, consulting the result cache first when enabled.
+    /// A direct call is a batch of one: its timing observations are committed to the
+    /// cost model on return (batched callers commit once per `prove_all` instead).
     pub fn prove_one(
+        &self,
+        obligation: &ProofObligation,
+        context: &ProverContext,
+    ) -> VerificationReport {
+        let report = self.prove_one_inner(obligation, context);
+        self.model.commit();
+        report
+    }
+
+    fn prove_one_inner(
         &self,
         obligation: &ProofObligation,
         context: &ProverContext,
@@ -1075,6 +1173,12 @@ impl Dispatcher {
             .filter(|(_, s)| s.skipped > 0)
             .map(|(id, s)| (*id, s.skipped))
             .collect();
+        let budget_aborts = report
+            .per_prover
+            .iter()
+            .filter(|(_, s)| s.budget_aborts > 0)
+            .map(|(id, s)| (*id, s.budget_aborts))
+            .collect();
         self.cache.insert(
             key,
             CachedOutcome {
@@ -1082,6 +1186,8 @@ impl Dispatcher {
                 prover,
                 attempted,
                 skipped,
+                budget_aborts,
+                rescued: report.rescue_retries > 0,
                 from_disk: false,
             },
         );
@@ -1109,6 +1215,10 @@ impl Dispatcher {
         for (prover, skipped) in &outcome.skipped {
             report.per_prover.entry(*prover).or_default().skipped += skipped;
         }
+        for (prover, aborts) in &outcome.budget_aborts {
+            report.per_prover.entry(*prover).or_default().budget_aborts += aborts;
+        }
+        report.rescue_retries = outcome.rescued as usize;
         if outcome.proved {
             report.proved_sequents = 1;
             if let Some(prover) = outcome.prover {
@@ -1122,11 +1232,15 @@ impl Dispatcher {
         report
     }
 
-    /// The prover order for one attempted sequent: the feature-routed permutation of
-    /// the global order when routing is on, the global order itself otherwise.
-    fn attempt_order(&self, sequent: &jahob_logic::Sequent) -> Vec<ProverId> {
-        if self.config.route {
-            router::route(&SequentFeatures::of(sequent), &self.config.order)
+    /// The prover order for one attempted sequent: with routing *and* budgets on,
+    /// the measured-cost permutation of the global order (identical to the static
+    /// route until the model calibrates); with routing alone, the hand-tuned static
+    /// route; otherwise the global order itself.
+    fn attempt_order(&self, features: &SequentFeatures) -> Vec<ProverId> {
+        if self.config.route && self.config.budgets {
+            router::route_with_model(features, &self.config.order, &self.model)
+        } else if self.config.route {
+            router::route(features, &self.config.order)
         } else {
             self.config.order.clone()
         }
@@ -1154,17 +1268,80 @@ impl Dispatcher {
         // Each phase's attempt site key was built once in `prove_one`; every prover of
         // the phase borrows the same key (the failure map stores per-prover bits).
         let phase_memo = memo.map(|m| (m.cache, m.hinted.as_ref().unwrap_or(&m.full)));
-        if self.cascade(&mut report, sequent, obligation, context, phase_memo, false) {
+        // With budgets on, MONA and FOL run with feature-dependent fuel; every
+        // aborted (prover, phase) pair is remembered so the rescue pass below can
+        // retry exactly those attempts without fuel.
+        let budgeted = self.config.budgets;
+        let mut aborted_hinted: Vec<ProverId> = Vec::new();
+        if self.cascade(
+            &mut report,
+            sequent,
+            obligation,
+            context,
+            phase_memo,
+            false,
+            budgeted,
+            &mut aborted_hinted,
+            None,
+        ) {
             return report;
         }
         // When hints narrowed the sequent and nothing succeeded, retry the provers with
         // the full assumption set — still instantiated — because the hints are advice,
         // not a restriction. With instantiation-only hints the two sequents coincide
         // and the retry would re-run an identical cascade, so it is skipped.
-        if let Some(hinted) = hinted {
-            if hinted != full {
+        let retry = hinted.filter(|h| *h != full);
+        let mut aborted_full: Vec<ProverId> = Vec::new();
+        if retry.is_some() {
+            let retry_memo = memo.map(|m| (m.cache, &m.full));
+            if self.cascade(
+                &mut report,
+                full,
+                obligation,
+                context,
+                retry_memo,
+                true,
+                budgeted,
+                &mut aborted_full,
+                None,
+            ) {
+                return report;
+            }
+        }
+        // Rescue pass: a budgeted cascade that failed with aborts proved nothing —
+        // but the aborted attempts have *unknown* verdicts, so completeness demands
+        // re-running exactly them without fuel. Completed budgeted attempts are not
+        // retried: their verdicts are already identical to unbudgeted runs.
+        if budgeted && (!aborted_hinted.is_empty() || !aborted_full.is_empty()) {
+            report.rescue_retries = 1;
+            if !aborted_hinted.is_empty()
+                && self.cascade(
+                    &mut report,
+                    sequent,
+                    obligation,
+                    context,
+                    phase_memo,
+                    false,
+                    false,
+                    &mut Vec::new(),
+                    Some(&aborted_hinted),
+                )
+            {
+                return report;
+            }
+            if !aborted_full.is_empty() {
                 let retry_memo = memo.map(|m| (m.cache, &m.full));
-                if self.cascade(&mut report, full, obligation, context, retry_memo, true) {
+                if self.cascade(
+                    &mut report,
+                    full,
+                    obligation,
+                    context,
+                    retry_memo,
+                    true,
+                    false,
+                    &mut Vec::new(),
+                    Some(&aborted_full),
+                ) {
                     return report;
                 }
             }
@@ -1179,6 +1356,15 @@ impl Dispatcher {
     /// and fresh failures recorded (the interactive prover is exempt: its verdict
     /// depends on the obligation's label path and the lemma library, not on the
     /// sequent alone).
+    ///
+    /// With `budgeted` set, MONA and FOL run under the feature-dependent fuel of
+    /// [`fuel_for`]; an attempt that exhausts its fuel is *aborted* — counted in
+    /// [`ProverStats::budget_aborts`], pushed onto `aborted`, and crucially **not**
+    /// recorded in the failure memo, because its verdict is unknown. Attempts that
+    /// complete within budget fail exactly as they would unbudgeted and are memoized
+    /// as usual. `only` restricts the cascade to the listed provers — the rescue
+    /// pass uses it to retry precisely the aborted attempts without fuel.
+    #[allow(clippy::too_many_arguments)]
     fn cascade(
         &self,
         report: &mut VerificationReport,
@@ -1187,12 +1373,21 @@ impl Dispatcher {
         context: &ProverContext,
         memo: Option<(&SequentCache, &FailureKey)>,
         skip_syntactic: bool,
+        budgeted: bool,
+        aborted: &mut Vec<ProverId>,
+        only: Option<&[ProverId]>,
     ) -> bool {
         // One lock + hash fetches the phase's whole failure mask; each prover then
         // tests its own bit locally.
         let failed_mask = memo.map_or(0, |(cache, site)| cache.failed_mask(site));
-        for prover in self.attempt_order(sequent) {
+        let features = SequentFeatures::of(sequent);
+        let bucket = features.bucket();
+        let fuel = budgeted.then(|| fuel_for(&features));
+        for prover in self.attempt_order(&features) {
             if skip_syntactic && matches!(prover, ProverId::Syntactic) {
+                continue;
+            }
+            if only.is_some_and(|list| !list.contains(&prover)) {
                 continue;
             }
             let memoized = match memo {
@@ -1207,18 +1402,36 @@ impl Dispatcher {
                 }
             }
             let start = Instant::now();
-            let proved = attempt(prover, sequent, obligation, context);
+            let outcome = attempt(prover, sequent, obligation, context, fuel.as_ref());
             let elapsed = start.elapsed();
+            if self.config.budgets {
+                self.model.observe(
+                    prover,
+                    bucket,
+                    elapsed.as_nanos() as u64,
+                    outcome == AttemptOutcome::Proved,
+                );
+            }
             let stats = report.per_prover.entry(prover).or_default();
             stats.attempted += 1;
             stats.time += elapsed;
-            if proved {
-                stats.proved += 1;
-                report.proved_sequents = 1;
-                return true;
-            }
-            if let Some((cache, site)) = memoized {
-                cache.record_failure(site, prover);
+            match outcome {
+                AttemptOutcome::Proved => {
+                    stats.proved += 1;
+                    report.proved_sequents = 1;
+                    return true;
+                }
+                AttemptOutcome::BudgetAborted => {
+                    // Unknown verdict: no failure memo, but remember the attempt so
+                    // the rescue pass can rerun it without fuel.
+                    stats.budget_aborts += 1;
+                    aborted.push(prover);
+                }
+                AttemptOutcome::Failed => {
+                    if let Some((cache, site)) = memoized {
+                        cache.record_failure(site, prover);
+                    }
+                }
             }
         }
         false
@@ -1254,25 +1467,115 @@ fn var_classes(context: &ProverContext, sequent: &jahob_logic::Sequent) -> Strin
     classes
 }
 
-/// Runs a single prover on a sequent.
+/// The three-way verdict of one prover attempt. `Failed` is a completed negative run
+/// — identical to what an unbudgeted run would conclude, so it may be memoized.
+/// `BudgetAborted` means the attempt ran out of fuel with the verdict still unknown;
+/// it must be neither memoized nor treated as a failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AttemptOutcome {
+    Proved,
+    Failed,
+    BudgetAborted,
+}
+
+/// Cooperative fuel for one budgeted cascade: deterministic work units, not wall
+/// time, so abort decisions are reproducible across runs and machines.
+#[derive(Debug, Clone, Copy)]
+struct FuelBudget {
+    /// MONA automaton-construction work ([`jahob_mona::MonaOptions::max_work`]).
+    mona_work: u64,
+    /// MONA per-automaton state cap ([`jahob_mona::MonaOptions::max_states`]).
+    mona_states: usize,
+    /// FOL given-clause iterations ([`jahob_folp::ResolutionLimits::max_iterations`]).
+    fol_iterations: usize,
+    /// SMT ground-search steps ([`jahob_smt::GroundLimits::max_steps`] — DPLL
+    /// decisions + conflicts). The ground search is deterministic, so a budgeted run
+    /// that completes (`Sat`/`Unsat`) is bit-identical to the unbudgeted verdict; only
+    /// a truncated search (`Unknown`) becomes a budget abort.
+    smt_steps: usize,
+}
+
+/// The feature-dependent fuel policy. Reachability sequents legitimately build large
+/// automata and quantified sequents legitimately saturate longer, so those buckets
+/// keep generous budgets; everything else gets fuel sized so that the provers'
+/// *successful* runs fit comfortably while hopeless runs abort at a small fraction
+/// of their unbudgeted cost. Aborts are always rescued unbudgeted, so these
+/// constants trade only time, never verdicts.
+///
+/// The SMT step budget is the big saver on the §7 suite: every winning ground search
+/// there closes after unit propagation alone (a single DPLL step), while the searches
+/// that end in a countermodel (a genuine SMT failure some later prover then
+/// discharges) burn hundreds of decision steps at tens of milliseconds per attempt.
+fn fuel_for(features: &SequentFeatures) -> FuelBudget {
+    let (mona_work, mona_states) = if features.reachability_atoms > 0 {
+        (2_000_000, 768)
+    } else {
+        (150_000, 256)
+    };
+    let fol_iterations = if features.quantifiers > 0 { 120 } else { 60 };
+    FuelBudget {
+        mona_work,
+        mona_states,
+        fol_iterations,
+        smt_steps: 32,
+    }
+}
+
+/// Runs a single prover on a sequent. With `fuel` present, MONA and FOL run under
+/// its limits and report [`AttemptOutcome::BudgetAborted`] when they hit them;
+/// without it they run with their standing (effectively unlimited) budgets, and a
+/// resource stop is reported as a plain failure exactly as before.
 fn attempt(
     prover: ProverId,
     sequent: &jahob_logic::Sequent,
     obligation: &ProofObligation,
     context: &ProverContext,
-) -> bool {
+    fuel: Option<&FuelBudget>,
+) -> AttemptOutcome {
+    let verdict = |proved: bool| {
+        if proved {
+            AttemptOutcome::Proved
+        } else {
+            AttemptOutcome::Failed
+        }
+    };
     match prover {
-        ProverId::Syntactic => syntactic_prover(sequent),
+        ProverId::Syntactic => verdict(syntactic_prover(sequent)),
         ProverId::Mona => {
-            jahob_mona::prove_sequent(sequent, &jahob_mona::MonaOptions::default()).proved
+            let mut opts = jahob_mona::MonaOptions::default();
+            if let Some(fuel) = fuel {
+                opts.max_work = fuel.mona_work;
+                opts.max_states = fuel.mona_states;
+            }
+            let result = jahob_mona::prove_sequent(sequent, &opts);
+            if result.proved {
+                AttemptOutcome::Proved
+            } else if fuel.is_some() && result.budget_exhausted {
+                AttemptOutcome::BudgetAborted
+            } else {
+                AttemptOutcome::Failed
+            }
         }
         ProverId::Smt => {
-            let opts = jahob_smt::SmtOptions {
+            let mut opts = jahob_smt::SmtOptions {
                 set_vars: context.set_vars.clone(),
                 fun_vars: context.fun_vars.clone(),
                 ..jahob_smt::SmtOptions::default()
             };
-            jahob_smt::prove_sequent(sequent, &opts).proved
+            if let Some(fuel) = fuel {
+                opts.ground_limits.max_steps = fuel.smt_steps.min(opts.ground_limits.max_steps);
+            }
+            let result = jahob_smt::prove_sequent(sequent, &opts);
+            if result.proved {
+                AttemptOutcome::Proved
+            } else if fuel.is_some() && result.outcome == jahob_smt::GroundOutcome::Unknown {
+                // `Unknown` is a truncated search (step budget or clause cap), not a
+                // countermodel; the deterministic DPLL search means any *completed*
+                // budgeted verdict equals the unbudgeted one.
+                AttemptOutcome::BudgetAborted
+            } else {
+                AttemptOutcome::Failed
+            }
         }
         ProverId::Fol => {
             let mut opts = jahob_folp::FolOptions::default();
@@ -1280,13 +1583,20 @@ fn attempt(
             opts.translate.fun_vars = context.fun_vars.clone();
             // Keep the resolution budget modest: the FOL prover is a fallback behind the
             // SMT prover in the default order.
-            opts.limits.max_iterations = 300;
-            jahob_folp::prove_sequent(sequent, &opts).proved
+            opts.limits.max_iterations = fuel.map_or(300, |f| f.fol_iterations.min(300));
+            let result = jahob_folp::prove_sequent(sequent, &opts);
+            if result.proved {
+                AttemptOutcome::Proved
+            } else if fuel.is_some() && result.resource_limited() {
+                AttemptOutcome::BudgetAborted
+            } else {
+                AttemptOutcome::Failed
+            }
         }
         ProverId::Bapa => {
-            jahob_bapa::prove_sequent(sequent, &jahob_bapa::BapaOptions::default()).proved
+            verdict(jahob_bapa::prove_sequent(sequent, &jahob_bapa::BapaOptions::default()).proved)
         }
-        ProverId::Interactive => context.lemmas.contains(obligation),
+        ProverId::Interactive => verdict(context.lemmas.contains(obligation)),
     }
 }
 
@@ -1681,6 +1991,173 @@ mod tests {
     }
 
     #[test]
+    fn jahob_budgets_invalid_value_warns_and_keeps_the_default() {
+        assert_eq!(parse_switch_knob("JAHOB_BUDGETS", "off"), Ok(false));
+        assert_eq!(parse_switch_knob("JAHOB_BUDGETS", "1"), Ok(true));
+        let warning = parse_switch_knob("JAHOB_BUDGETS", "fast").unwrap_err();
+        assert!(warning.contains("JAHOB_BUDGETS"), "{warning}");
+        assert!(warning.contains("\"fast\""), "{warning}");
+    }
+
+    #[test]
+    fn budgets_are_part_of_the_cache_fingerprint() {
+        // Budgets change attempt counts and attribution (never verdicts), and cached
+        // outcomes replay those counts — so a budgets-on entry must not answer a
+        // budgets-off lookup.
+        let on = DispatcherConfig::builder().build();
+        let off = DispatcherConfig::builder().budgets(false).build();
+        assert!(on.budgets && !off.budgets);
+        assert_ne!(on.fingerprint(), off.fingerprint());
+        assert!(
+            on.fingerprint().contains("budgets=true"),
+            "{}",
+            on.fingerprint()
+        );
+    }
+
+    /// An unprovable sequent whose set/quantifier structure blows MONA's non-reach
+    /// fuel (and FOL's quantified iteration fuel) while still completing unbudgeted.
+    fn fuel_hungry_unprovable() -> ProofObligation {
+        ob(
+            &[
+                "ALL x. x : a --> x : b",
+                "ALL x. x : b --> x : c",
+                "ALL x. x : c --> x : d",
+                "ALL x. x : d --> x : e",
+                "ALL x. x : e --> x : f",
+            ],
+            "ALL x. x : a --> x : g",
+        )
+    }
+
+    /// A valid sequent only MONA can prove (the second-order existential is native
+    /// WS1S but approximated away by the FOL/SMT translations) whose automaton
+    /// exceeds the non-reach fuel — so with budgets on, *only* the unbudgeted
+    /// rescue pass can discharge it.
+    fn rescue_only_provable() -> ProofObligation {
+        ob(
+            &[
+                "ALL x. x : a --> x : b | x : c",
+                "ALL x. x : b --> x : d",
+                "ALL x. x : c --> x : d",
+                "ALL x. x : d --> x : e",
+                "ALL x. x : e --> x : f",
+            ],
+            "EX s. ALL x. (x : a --> x : s) & (x : s --> x : f)",
+        )
+    }
+
+    #[test]
+    fn fuel_budgets_abort_hopeless_attempts_without_changing_the_verdict() {
+        let o = fuel_hungry_unprovable();
+        let context = ProverContext::default();
+        let on = Dispatcher::with_config(DispatcherConfig::builder().cache(CacheMode::Off).build())
+            .prove_one(&o, &context);
+        let off = Dispatcher::with_config(
+            DispatcherConfig::builder()
+                .cache(CacheMode::Off)
+                .budgets(false)
+                .build(),
+        )
+        .prove_one(&o, &context);
+        assert!(!on.succeeded() && !off.succeeded(), "verdicts must agree");
+        assert!(on.budget_aborts() > 0, "the budgets must engage: {on:?}");
+        assert_eq!(on.rescue_retries, 1, "aborts + failure = one rescue retry");
+        assert_eq!(off.budget_aborts(), 0, "budgets off never aborts");
+        assert_eq!(off.rescue_retries, 0, "budgets off never rescues");
+        // The budgeted run pays strictly less prover time on the aborted attempts
+        // only when they abort early; what it must never do is attempt fewer
+        // *distinct* provers than the unbudgeted run in total (rescue included).
+        assert_eq!(on.per_prover.len(), off.per_prover.len());
+    }
+
+    #[test]
+    fn rescue_pass_recovers_proofs_the_budgets_interrupted() {
+        let o = rescue_only_provable();
+        let context = ProverContext::default();
+        let dispatcher = Dispatcher::with_config(DispatcherConfig::builder().build());
+        let report = dispatcher.prove_one(&o, &context);
+        assert!(
+            report.succeeded(),
+            "the rescue pass must recover the MONA proof: {report:?}"
+        );
+        assert_eq!(report.per_prover[&ProverId::Mona].proved, 1);
+        assert!(report.budget_aborts() > 0, "{report:?}");
+        assert_eq!(report.rescue_retries, 1);
+        // The rescue pass retried MONA even though its budgeted attempt was aborted
+        // moments earlier — proof that aborts are not memoized as failures (a
+        // poisoned memo would skip MONA in the rescue cascade and lose the proof).
+        // The cached outcome replays the abort counts and the rescued bit too.
+        let replay = dispatcher.prove_one(&o, &context);
+        assert_eq!(replay.cache_hits, 1, "{replay:?}");
+        assert_eq!(replay.budget_aborts(), report.budget_aborts());
+        assert_eq!(replay.rescue_retries, 1);
+        assert_eq!(replay.per_prover[&ProverId::Mona].proved, 1);
+    }
+
+    #[test]
+    fn budgets_off_restores_the_pre_cost_model_dispatcher_exactly() {
+        // With budgets off the dispatcher must neither collect observations nor
+        // consult the model: the cost model stays empty across a whole run.
+        let dispatcher = Dispatcher::with_config(
+            DispatcherConfig::builder()
+                .cache(CacheMode::Off)
+                .budgets(false)
+                .build(),
+        );
+        let context = ProverContext::default();
+        let r = dispatcher.prove_one(&ob(&["x = y + 1", "0 <= y"], "1 <= x"), &context);
+        assert!(r.succeeded());
+        assert!(dispatcher.cost_model().is_empty(), "no observations");
+    }
+
+    #[test]
+    fn budgeted_runs_calibrate_the_cost_model_between_batches() {
+        let dispatcher =
+            Dispatcher::with_config(DispatcherConfig::builder().cache(CacheMode::Off).build());
+        let context = ProverContext::default();
+        let obs = vec![ob(&["x = y + 1", "0 <= y"], "1 <= x"), ob(&["p"], "q")];
+        let before = dispatcher.cost_model().len();
+        assert_eq!(before, 0, "cold model");
+        dispatcher.prove_obligations(&obs, &context);
+        assert!(
+            !dispatcher.cost_model().is_empty(),
+            "the batch boundary must commit the observations"
+        );
+    }
+
+    #[test]
+    fn persistent_mode_round_trips_the_cost_model_profile() {
+        let dir = std::env::temp_dir().join(format!(
+            "jahob-provers-persist-{}-cost-model",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let persistent = || {
+            DispatcherConfig::builder()
+                .cache(CacheMode::Persistent {
+                    dir: dir.clone(),
+                    flush: false,
+                })
+                .build()
+        };
+        let o = ob(&["x = y + 1", "0 <= y"], "1 <= x");
+        let cold = Dispatcher::with_config(persistent());
+        assert!(cold.prove_one(&o, &ProverContext::default()).succeeded());
+        cold.flush_store().expect("flush");
+        assert!(
+            costmodel::cost_model_path(&dir).exists(),
+            "the profile must be written next to the proof store"
+        );
+        let warm = Dispatcher::with_config(persistent());
+        assert!(
+            !warm.cost_model().is_empty(),
+            "a fresh dispatcher warm-loads the profile"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn inst_hints_discharge_sequents_no_prover_can_instantiate() {
         // The universal relates `card` of arbitrary slices of `content` to `used`:
         // BAPA cannot see through the quantifier, FOL/SMT cannot bridge the `card`
@@ -1831,8 +2308,9 @@ mod tests {
     #[test]
     #[allow(deprecated)]
     fn deprecated_pinned_shim_matches_the_builder() {
-        // The differential harness still calls `pinned`; its historical meaning must
-        // be exactly what the builder spells out.
+        // External callers may still hold `pinned`; its historical meaning must be
+        // exactly what the builder spells out (the differential harness itself now
+        // uses the builder directly).
         assert_eq!(
             DispatcherConfig::pinned(4, true, 2),
             DispatcherConfig::builder()

@@ -47,7 +47,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// The store format version this build reads and writes. Bumped whenever the record
 /// layout, the canonical-form definition, or the fingerprint contents change
 /// incompatibly; files with any other version load as empty (with a warning).
-pub const STORE_VERSION: u32 = 1;
+/// v2 added the per-prover budget-abort counts and the rescued bit to verdict
+/// records (the fuel-budget PR).
+pub const STORE_VERSION: u32 = 2;
 
 /// Magic prefix of the header line, shared by every format version.
 const MAGIC: &str = "jahob-proof-store";
@@ -154,8 +156,8 @@ fn parse(text: &str) -> Result<StoreData, StoreError> {
         let fields: Vec<&str> = line.split('\t').collect();
         match fields[0] {
             "V" => {
-                if fields.len() != 10 {
-                    return Err(err("verdict record needs 10 fields"));
+                if fields.len() != 12 {
+                    return Err(err("verdict record needs 12 fields"));
                 }
                 let key = CacheKey {
                     config_fingerprint: unescape(fields[1]).ok_or_else(|| err("fingerprint"))?,
@@ -182,6 +184,9 @@ fn parse(text: &str) -> Result<StoreData, StoreError> {
                     },
                     attempted: parse_counts(fields[8]).ok_or_else(|| err("attempted counts"))?,
                     skipped: parse_counts(fields[9]).ok_or_else(|| err("skipped counts"))?,
+                    budget_aborts: parse_counts(fields[10])
+                        .ok_or_else(|| err("budget-abort counts"))?,
+                    rescued: parse_bool(fields[11]).ok_or_else(|| err("rescued bit"))?,
                     from_disk: false, // stamped by `SequentCache::absorb`
                 };
                 data.verdicts.push((key, outcome));
@@ -258,7 +263,7 @@ pub(crate) fn merge_write(path: &Path, live: StoreData) -> std::io::Result<usize
     let written = verdicts.len();
     for (key, outcome) in &verdicts {
         out.push_str(&format!(
-            "V\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            "V\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
             escape(&key.config_fingerprint),
             escape(key.sequent.repr()),
             match &key.hinted {
@@ -271,6 +276,8 @@ pub(crate) fn merge_write(path: &Path, live: StoreData) -> std::io::Result<usize
             outcome.prover.map_or("-", prover_tag),
             render_counts(&outcome.attempted),
             render_counts(&outcome.skipped),
+            render_counts(&outcome.budget_aborts),
+            outcome.rescued as u8,
         ));
     }
     for (key, mask) in &failures {
@@ -307,8 +314,8 @@ pub(crate) fn merge_write(path: &Path, live: StoreData) -> std::io::Result<usize
 }
 
 /// The stable serialization tag of a prover (display names are presentation, not
-/// format).
-fn prover_tag(prover: ProverId) -> &'static str {
+/// format). Shared with the cost-model file format (`costmodel`).
+pub(crate) fn prover_tag(prover: ProverId) -> &'static str {
     match prover {
         ProverId::Syntactic => "syntactic",
         ProverId::Mona => "mona",
@@ -319,7 +326,7 @@ fn prover_tag(prover: ProverId) -> &'static str {
     }
 }
 
-fn parse_prover(tag: &str) -> Option<ProverId> {
+pub(crate) fn parse_prover(tag: &str) -> Option<ProverId> {
     Some(match tag {
         "syntactic" => ProverId::Syntactic,
         "mona" => ProverId::Mona,
@@ -422,6 +429,8 @@ mod tests {
                         prover: Some(ProverId::Bapa),
                         attempted: vec![(ProverId::Syntactic, 1), (ProverId::Bapa, 1)],
                         skipped: vec![(ProverId::Mona, 1)],
+                        budget_aborts: vec![(ProverId::Fol, 1)],
+                        rescued: false,
                         from_disk: false,
                     },
                 ),
@@ -432,6 +441,8 @@ mod tests {
                         prover: None,
                         attempted: Vec::new(),
                         skipped: Vec::new(),
+                        budget_aborts: Vec::new(),
+                        rescued: true,
                         from_disk: false,
                     },
                 ),

@@ -1,16 +1,18 @@
 //! Differential test for the dispatcher's scaling mechanisms.
 //!
 //! The work-stealing parallel dispatch, the canonical-form result cache (with its
-//! negative failure-memo side), per-sequent prover routing and the program-wide
-//! obligation batching are pure optimisations: they must not change *what* gets
-//! proved, only how fast. This harness runs the full §7 example suite under every
-//! combination of `{threads = 1, 2, 4, 8} x {cache on, off} x {route on, off}` (plus
-//! a coarser work-queue granularity) and asserts that every configuration proves the
-//! identical set of sequents per method, and reports the `unproved` descriptions in
-//! the identical, deterministic order — and that the batched whole-program dispatch
-//! (`verify_program`: one tagged `prove_all` per program) is indistinguishable from
-//! the per-method seed path (one `prove_all` per method) across the whole matrix.
-//! Any future scaling PR that breaks either property fails here.
+//! negative failure-memo side), per-sequent prover routing, fuel-budgeted attempts
+//! (with the unbudgeted rescue pass) and the program-wide obligation batching are
+//! pure optimisations: they must not change *what* gets proved, only how fast. This
+//! harness runs the full §7 example suite under every combination of
+//! `{threads = 1, 2, 4, 8} x {cache on, off} x {route on, off} x {budgets on, off}`
+//! (plus a coarser work-queue granularity) and asserts that every configuration
+//! proves the identical set of sequents per method, and reports the `unproved`
+//! descriptions in the identical, deterministic order — and that the batched
+//! whole-program dispatch (`verify_program`: one tagged `prove_all` per program) is
+//! indistinguishable from the per-method seed path (one `prove_all` per method)
+//! across the whole matrix. Any future scaling PR that breaks either property fails
+//! here.
 
 use jahob_repro::frontend::program_tasks;
 use jahob_repro::jahob::{self, suite, VerifyOptions};
@@ -27,13 +29,17 @@ struct MethodVerdict {
     unproved: Vec<String>,
 }
 
-// The harness deliberately keeps driving the deprecated `pinned` shim: its whole
-// point is that historical configurations keep their historical meaning, and the
-// provers crate separately asserts `pinned` equals the builder spelling.
-#[allow(deprecated)]
 fn options(threads: usize, cache: bool, granularity: usize) -> VerifyOptions {
     VerifyOptions {
-        dispatcher: jahob::DispatcherConfig::pinned(threads, cache, granularity),
+        dispatcher: jahob::DispatcherConfig::builder()
+            .threads(threads)
+            .cache(if cache {
+                jahob::CacheMode::Memory
+            } else {
+                jahob::CacheMode::Off
+            })
+            .granularity(granularity)
+            .build(),
         ..VerifyOptions::default()
     }
 }
@@ -41,6 +47,12 @@ fn options(threads: usize, cache: bool, granularity: usize) -> VerifyOptions {
 fn options_routed(threads: usize, cache: bool, route: bool) -> VerifyOptions {
     let mut opts = options(threads, cache, 1);
     opts.dispatcher.route = route;
+    opts
+}
+
+fn options_budgeted(threads: usize, cache: bool, route: bool, budgets: bool) -> VerifyOptions {
+    let mut opts = options_routed(threads, cache, route);
+    opts.dispatcher.budgets = budgets;
     opts
 }
 
@@ -132,7 +144,12 @@ fn batched_and_per_method_reports_agree_exactly_when_single_threaded() {
     // attribution, hit/miss counters, unproved ordering — must agree field for field
     // (everything except measured times, which is why renders are byte-identical up to
     // timings). Under parallelism the hit/miss split can wobble (two workers racing a
-    // cold key), so this strict form is pinned for threads=1 only.
+    // cold key), so this strict form is pinned for threads=1 only. Budgets are pinned
+    // off: the cost model commits at batch boundaries, and the two paths draw those
+    // boundaries differently (one per program vs one per method), so with budgets on
+    // the per-method path routes later methods against a better-calibrated model and
+    // its *attempt counts* may legitimately differ. The verdict-level agreement with
+    // budgets on is covered by `fuel_budgets_change_nothing_but_time` below.
     type Strict = Vec<(
         String,
         Vec<(String, usize, usize, usize)>,
@@ -159,7 +176,7 @@ fn batched_and_per_method_reports_agree_exactly_when_single_threaded() {
             .collect()
     };
     for cache in [false, true] {
-        let opts = options(1, cache, 1);
+        let opts = options_budgeted(1, cache, true, false);
         let mut batched: Strict = Vec::new();
         let mut per_method: Strict = Vec::new();
         for entry in suite::full_suite() {
@@ -197,6 +214,54 @@ fn routing_on_and_off_prove_the_same_sequents_across_the_matrix() {
                 routed, unrouted,
                 "threads={threads} cache={cache}: routing changed the proved sequent set"
             );
+        }
+    }
+}
+
+#[test]
+fn fuel_budgets_change_nothing_but_time() {
+    // The measured cost model + fuel budgets + rescue pass are a pure optimisation:
+    // permutation and early-abort, never pruning. Whatever the thread count, cache
+    // setting or routing mode, budgets on and off must prove the identical sequent
+    // set (same `unproved` lists in the same order) AND credit the identical prover
+    // for every proof — the cascade order is frozen per batch, aborted attempts are
+    // retried unbudgeted by the rescue pass, and completed budgeted attempts reach
+    // the same verdicts as unbudgeted ones. Attempt counts and times are deliberately
+    // not compared (aborting early and rescuing is the whole point).
+    let attribution = |options: &VerifyOptions| -> Vec<(String, Vec<(String, usize)>)> {
+        let mut per_method = Vec::new();
+        for entry in suite::full_suite() {
+            for result in jahob::verify_program(&entry.program, options) {
+                per_method.push((
+                    format!("{}::{}", entry.name, result.method),
+                    result
+                        .report
+                        .per_prover
+                        .iter()
+                        .filter(|(_, s)| s.proved > 0)
+                        .map(|(id, s)| (id.to_string(), s.proved))
+                        .collect(),
+                ));
+            }
+        }
+        per_method
+    };
+    for threads in [1usize, 4] {
+        for cache in [false, true] {
+            for route in [false, true] {
+                let on = options_budgeted(threads, cache, route, true);
+                let off = options_budgeted(threads, cache, route, false);
+                assert_eq!(
+                    run_full_suite(&on),
+                    run_full_suite(&off),
+                    "threads={threads} cache={cache} route={route}: budgets changed the proved set"
+                );
+                assert_eq!(
+                    attribution(&on),
+                    attribution(&off),
+                    "threads={threads} cache={cache} route={route}: budgets changed prover attribution"
+                );
+            }
         }
     }
 }

@@ -15,6 +15,14 @@
 //! name-by-name across bench binaries and runs, so one `cargo bench` sweep produces a
 //! single file and re-running one harness refreshes only its own entries — the bench
 //! trajectory CI and EXPERIMENTS.md track across PRs.
+//!
+//! Merging keeps renamed or deleted benches alive forever unless something expires
+//! them, so every entry carries a **run generation** (`"gen"`). An ordinary run
+//! writes at the file's current generation and prunes nothing. A full sweep sets
+//! `JAHOB_BENCH_GEN` to a fresh (larger) number for every binary: the first write
+//! of the sweep prunes every entry of an older generation, and each binary then
+//! re-adds its own rows — so when the sweep finishes, the file holds exactly the
+//! rows that were measured, and stale rows from renamed benches are gone.
 
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
@@ -139,6 +147,9 @@ struct BenchRecord {
     samples: u64,
 }
 
+/// A named entry plus the run generation that last (re-)measured it.
+type Stamped<T> = Vec<(String, u64, T)>;
+
 #[derive(Debug, Default)]
 struct Registry {
     benches: Vec<(String, BenchRecord)>,
@@ -195,46 +206,92 @@ pub fn write_results() {
 /// [`write_results`] to an explicit path (exposed for the shim's own tests).
 pub fn write_results_to(path: &Path) -> std::io::Result<()> {
     let registry = registry().lock().expect("bench registry");
-    let mut benches: Vec<(String, BenchRecord)> = Vec::new();
-    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let mut benches: Stamped<BenchRecord> = Vec::new();
+    let mut metrics: Stamped<f64> = Vec::new();
     if let Ok(existing) = std::fs::read_to_string(path) {
         let (b, m) = parse_results(&existing);
         benches = b;
         metrics = m;
     }
+    let current = benches
+        .iter()
+        .map(|(_, gen, _)| *gen)
+        .chain(metrics.iter().map(|(_, gen, _)| *gen))
+        .max()
+        .unwrap_or(0);
+    let generation = run_generation(std::env::var("JAHOB_BENCH_GEN").ok().as_deref(), current);
+    // A bumped generation starts a fresh sweep: rows not re-measured since the
+    // previous sweep are stale (renamed or deleted bench ids) and are pruned; each
+    // binary of the sweep then re-adds the rows it actually measured. Ordinary runs
+    // (generation unchanged) never lose rows, even after an interrupted sweep left
+    // the file mixed-generation.
+    if generation > current {
+        benches.retain(|(_, gen, _)| *gen >= generation);
+        metrics.retain(|(_, gen, _)| *gen >= generation);
+    }
     for (name, record) in &registry.benches {
-        upsert(&mut benches, name, *record);
+        upsert(&mut benches, name, generation, *record);
     }
     for (name, value) in &registry.metrics {
-        upsert(&mut metrics, name, *value);
+        upsert(&mut metrics, name, generation, *value);
     }
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"jahob-bench-results/1\",\n  \"benches\": {\n");
-    for (i, (name, r)) in benches.iter().enumerate() {
+    out.push_str("{\n  \"schema\": \"jahob-bench-results/2\",\n  \"benches\": {\n");
+    for (i, (name, gen, r)) in benches.iter().enumerate() {
         let comma = if i + 1 < benches.len() { "," } else { "" };
         out.push_str(&format!(
-            "    \"{}\": {{\"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"samples\": {}}}{}\n",
+            "    \"{}\": {{\"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"samples\": {}, \"gen\": {}}}{}\n",
             escape(name),
             r.mean_ns,
             r.min_ns,
             r.max_ns,
             r.samples,
+            gen,
             comma
         ));
     }
     out.push_str("  },\n  \"metrics\": {\n");
-    for (i, (name, v)) in metrics.iter().enumerate() {
+    for (i, (name, gen, v)) in metrics.iter().enumerate() {
         let comma = if i + 1 < metrics.len() { "," } else { "" };
-        out.push_str(&format!("    \"{}\": {}{}\n", escape(name), v, comma));
+        out.push_str(&format!(
+            "    \"{}\": {{\"value\": {}, \"gen\": {}}}{}\n",
+            escape(name),
+            v,
+            gen,
+            comma
+        ));
     }
     out.push_str("  }\n}\n");
     std::fs::write(path, out)
 }
 
-fn upsert<T: Copy>(entries: &mut Vec<(String, T)>, name: &str, value: T) {
-    match entries.iter_mut().find(|(n, _)| n == name) {
-        Some((_, v)) => *v = value,
-        None => entries.push((name.to_string(), value)),
+/// The generation this run writes at: `JAHOB_BENCH_GEN` when set and valid
+/// (a sweep), otherwise the file's current maximum (an ordinary run, which prunes
+/// nothing). An invalid value warns and behaves like unset rather than silently
+/// pruning the file.
+fn run_generation(env: Option<&str>, current: u64) -> u64 {
+    match env {
+        Some(raw) => match raw.trim().parse::<u64>() {
+            Ok(gen) => gen,
+            Err(_) => {
+                eprintln!(
+                    "warning: JAHOB_BENCH_GEN={raw:?} is not a non-negative integer; \
+                     keeping generation {current}"
+                );
+                current
+            }
+        },
+        None => current,
+    }
+}
+
+fn upsert<T: Copy>(entries: &mut Stamped<T>, name: &str, generation: u64, value: T) {
+    match entries.iter_mut().find(|(n, _, _)| n == name) {
+        Some((_, gen, v)) => {
+            *gen = generation;
+            *v = value;
+        }
+        None => entries.push((name.to_string(), generation, value)),
     }
 }
 
@@ -248,10 +305,12 @@ fn unescape(name: &str) -> String {
 
 /// Parses a results file previously produced by [`write_results_to`]. The writer emits
 /// exactly one entry per line, so a line-oriented scan suffices: bench lines look like
-/// `"name": {"mean_ns": N, "min_ns": N, "max_ns": N, "samples": N}` and metric lines
-/// like `"name": V`. Anything unrecognised is ignored (the file is then rewritten in
-/// the canonical shape).
-type ParsedResults = (Vec<(String, BenchRecord)>, Vec<(String, f64)>);
+/// `"name": {"mean_ns": N, "min_ns": N, "max_ns": N, "samples": N, "gen": G}` and
+/// metric lines like `"name": {"value": V, "gen": G}`. Schema-1 files (no `"gen"`
+/// field, bare metric numbers) parse as generation 0, so the first gen-bumped sweep
+/// retires every pre-schema-2 row. Anything unrecognised is ignored (the file is then
+/// rewritten in the canonical shape).
+type ParsedResults = (Stamped<BenchRecord>, Stamped<f64>);
 
 fn parse_results(text: &str) -> ParsedResults {
     let mut benches = Vec::new();
@@ -280,16 +339,36 @@ fn parse_results(text: &str) -> ParsedResults {
         };
         let name = unescape(&raw_name);
         if in_benches {
-            if let Some(record) = parse_record(rest) {
-                upsert(&mut benches, &name, record);
+            if let Some((record, gen)) = parse_record(rest) {
+                upsert(&mut benches, &name, gen, record);
             }
         } else if in_metrics {
-            if let Ok(v) = rest.trim().parse::<f64>() {
-                upsert(&mut metrics, &name, v);
+            if let Some((v, gen)) = parse_metric(rest) {
+                upsert(&mut metrics, &name, gen, v);
             }
         }
     }
     (benches, metrics)
+}
+
+/// Parses a metric value: the schema-2 `{"value": V, "gen": G}` object, or a bare
+/// schema-1 number (generation 0).
+fn parse_metric(text: &str) -> Option<(f64, u64)> {
+    let text = text.trim();
+    let Some(fields) = text.strip_prefix('{').and_then(|t| t.strip_suffix('}')) else {
+        return text.parse::<f64>().ok().map(|v| (v, 0));
+    };
+    let mut value = None;
+    let mut gen = 0;
+    for field in fields.split(',') {
+        let (key, raw) = field.split_once(':')?;
+        match key.trim().trim_matches('"') {
+            "value" => value = Some(raw.trim().parse::<f64>().ok()?),
+            "gen" => gen = raw.trim().parse::<u64>().ok()?,
+            _ => return None,
+        }
+    }
+    Some((value?, gen))
 }
 
 /// Splits a `"name": value` line into the raw (still escaped) name and the value text.
@@ -313,7 +392,7 @@ fn split_entry(line: &str) -> Option<(String, &str)> {
     Some((rest[..end].to_string(), value.trim()))
 }
 
-fn parse_record(text: &str) -> Option<BenchRecord> {
+fn parse_record(text: &str) -> Option<(BenchRecord, u64)> {
     let fields = text.trim().strip_prefix('{')?.strip_suffix('}')?;
     let mut record = BenchRecord {
         mean_ns: 0,
@@ -321,6 +400,7 @@ fn parse_record(text: &str) -> Option<BenchRecord> {
         max_ns: 0,
         samples: 0,
     };
+    let mut gen = 0;
     for field in fields.split(',') {
         let (key, value) = field.split_once(':')?;
         let value = value.trim().parse::<u64>().ok()?;
@@ -329,10 +409,11 @@ fn parse_record(text: &str) -> Option<BenchRecord> {
             "min_ns" => record.min_ns = value,
             "max_ns" => record.max_ns = value,
             "samples" => record.samples = value,
+            "gen" => gen = value,
             _ => return None,
         }
     }
-    Some(record)
+    Some((record, gen))
 }
 
 /// Passed to the benchmark closure; call [`Bencher::iter`] with the routine to time.
@@ -403,14 +484,28 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    /// Fills the process-global registry with one bench record and one metric,
+    /// replacing whatever a previous write left behind.
+    fn stage(record: BenchRecord) {
+        let mut registry = registry().lock().expect("bench registry");
+        registry.benches.clear();
+        registry.metrics.clear();
+        registry.benches.push(("fig7/new".to_string(), record));
+        registry.metrics.push(("suite_proved".to_string(), 153.0));
+    }
+
+    /// The single test driving `write_results_to` end to end: the registry and the
+    /// `JAHOB_BENCH_GEN` variable are process-global, so the merge, upgrade and
+    /// prune scenarios run as one sequence rather than racing in parallel tests.
     #[test]
-    fn results_file_round_trips_and_merges() {
+    fn results_file_round_trips_merges_and_prunes_stale_generations() {
         let dir = std::env::temp_dir().join(format!("criterion_shim_test_{}", std::process::id()));
         std::fs::create_dir_all(&dir).expect("temp dir");
         let path = dir.join("BENCH_results.json");
         let _ = std::fs::remove_file(&path);
+        std::env::remove_var("JAHOB_BENCH_GEN");
 
-        // Seed the file with one bench and one metric from a "previous binary".
+        // Seed the file with a schema-1 bench and metric from a "previous binary".
         std::fs::write(
             &path,
             concat!(
@@ -421,50 +516,83 @@ mod tests {
         )
         .expect("seed file");
 
-        {
-            let mut registry = registry().lock().expect("bench registry");
-            registry.benches.clear();
-            registry.metrics.clear();
-            registry.benches.push((
-                "fig7/new".to_string(),
-                BenchRecord {
-                    mean_ns: 7,
-                    min_ns: 6,
-                    max_ns: 8,
-                    samples: 3,
-                },
-            ));
-            registry.metrics.push(("suite_proved".to_string(), 153.0));
-        }
+        let record = BenchRecord {
+            mean_ns: 7,
+            min_ns: 6,
+            max_ns: 8,
+            samples: 3,
+        };
+        stage(record);
         write_results_to(&path).expect("write merged results");
 
+        // An ordinary (no-sweep) run merges: the schema-1 row upgrades to
+        // generation 0 and survives alongside the newly measured row.
         let text = std::fs::read_to_string(&path).expect("read back");
         let (benches, metrics) = parse_results(&text);
         assert_eq!(benches.len(), 2, "old entry kept, new entry added: {text}");
         assert_eq!(
             benches
                 .iter()
-                .find(|(n, _)| n == "suite/old")
-                .map(|(_, r)| r.mean_ns),
-            Some(42)
+                .find(|(n, _, _)| n == "suite/old")
+                .map(|(_, gen, r)| (*gen, r.mean_ns)),
+            Some((0, 42))
         );
         assert_eq!(
             benches
                 .iter()
-                .find(|(n, _)| n == "fig7/new")
-                .map(|(_, r)| r.samples),
+                .find(|(n, _, _)| n == "fig7/new")
+                .map(|(_, _, r)| r.samples),
             Some(3)
         );
-        assert_eq!(metrics, vec![("suite_proved".to_string(), 153.0)]);
+        assert_eq!(metrics, vec![("suite_proved".to_string(), 0, 153.0)]);
 
         // The file is well-formed for downstream JSON consumers: balanced braces, a
         // schema marker, and the sections CI greps for.
         assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
-        assert!(text.contains("\"schema\": \"jahob-bench-results/1\""));
+        assert!(text.contains("\"schema\": \"jahob-bench-results/2\""));
         assert_eq!(
             text.matches('{').count(),
             text.matches('}').count(),
             "unbalanced braces: {text}"
+        );
+
+        // A gen-bumped sweep prunes rows it did not re-measure: `suite/old` (a
+        // renamed or deleted bench id) disappears; the re-measured rows land at the
+        // new generation.
+        stage(record);
+        std::env::set_var("JAHOB_BENCH_GEN", "1");
+        let swept = write_results_to(&path);
+        std::env::remove_var("JAHOB_BENCH_GEN");
+        swept.expect("write swept results");
+        let (benches, metrics) = parse_results(&std::fs::read_to_string(&path).expect("read back"));
+        assert_eq!(
+            benches
+                .iter()
+                .map(|(n, g, _)| (n.as_str(), *g))
+                .collect::<Vec<_>>(),
+            vec![("fig7/new", 1)],
+            "stale row pruned by the sweep"
+        );
+        assert_eq!(metrics, vec![("suite_proved".to_string(), 1, 153.0)]);
+
+        // A later binary of the same sweep (same generation, env unset after an
+        // interrupted sweep is also this case) merges without pruning the first
+        // binary's rows.
+        {
+            let mut registry = registry().lock().expect("bench registry");
+            registry.benches.clear();
+            registry.metrics.clear();
+            registry.benches.push(("suite/other".to_string(), record));
+        }
+        write_results_to(&path).expect("write second binary");
+        let (benches, _) = parse_results(&std::fs::read_to_string(&path).expect("read back"));
+        assert_eq!(
+            benches
+                .iter()
+                .map(|(n, g, _)| (n.as_str(), *g))
+                .collect::<Vec<_>>(),
+            vec![("fig7/new", 1), ("suite/other", 1)],
+            "same-generation runs never prune"
         );
 
         let _ = std::fs::remove_file(&path);
@@ -475,14 +603,35 @@ mod tests {
     }
 
     #[test]
+    fn run_generation_accepts_only_a_valid_env_override() {
+        assert_eq!(run_generation(None, 3), 3);
+        assert_eq!(run_generation(Some("7"), 3), 7);
+        assert_eq!(run_generation(Some(" 4 "), 3), 4);
+        // Invalid values warn and behave like unset instead of silently pruning.
+        assert_eq!(run_generation(Some("-1"), 3), 3);
+        assert_eq!(run_generation(Some("sweep"), 3), 3);
+    }
+
+    #[test]
     fn entry_lines_split_and_parse() {
         let (name, rest) = split_entry(
-            "\"ablation/route_on\": {\"mean_ns\": 1, \"min_ns\": 1, \"max_ns\": 2, \"samples\": 5}",
+            "\"ablation/route_on\": {\"mean_ns\": 1, \"min_ns\": 1, \"max_ns\": 2, \"samples\": 5, \"gen\": 4}",
         )
         .expect("entry splits");
         assert_eq!(name, "ablation/route_on");
-        let record = parse_record(rest).expect("record parses");
-        assert_eq!((record.mean_ns, record.samples), (1, 5));
+        let (record, gen) = parse_record(rest).expect("record parses");
+        assert_eq!((record.mean_ns, record.samples, gen), (1, 5, 4));
+        // Schema-1 rows carry no generation and parse as generation 0.
+        let (_, gen) =
+            parse_record("{\"mean_ns\": 1, \"min_ns\": 1, \"max_ns\": 2, \"samples\": 5}")
+                .expect("v1 record parses");
+        assert_eq!(gen, 0);
+        assert_eq!(
+            parse_metric("{\"value\": 153, \"gen\": 2}"),
+            Some((153.0, 2))
+        );
+        assert_eq!(parse_metric("152"), Some((152.0, 0)));
+        assert!(parse_metric("{\"samples\": 3}").is_none());
         assert!(split_entry("},").is_none());
         assert_eq!(unescape(&escape("a\"b\\c")), "a\"b\\c");
     }
