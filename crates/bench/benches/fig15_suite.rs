@@ -72,6 +72,14 @@ fn fig15(c: &mut Criterion) {
         "suite_rescue_retries",
         jahob::suite_rescue_retries(&rows) as f64,
     );
+    // The fault-containment gauges: always recorded so a healthy run pins them at
+    // exactly 0 — any nonzero value in BENCH_results.json means a prover panicked
+    // (and was contained) or a wall-clock deadline fired during the bench run.
+    criterion::record_metric("suite_crashes", jahob::suite_crashes(&rows) as f64);
+    criterion::record_metric(
+        "suite_deadline_aborts",
+        jahob::suite_deadline_aborts(&rows) as f64,
+    );
 }
 
 criterion_group! {

@@ -181,6 +181,8 @@ impl SuiteRow {
                 e.cache_hits += s.cache_hits;
                 e.skipped += s.skipped;
                 e.budget_aborts += s.budget_aborts;
+                e.crashes += s.crashes;
+                e.deadline_aborts += s.deadline_aborts;
                 e.time += s.time;
             }
             row.total_sequents += r.report.total_sequents;
@@ -254,6 +256,27 @@ pub fn suite_budget_aborts(rows: &[SuiteRow]) -> usize {
 /// aborted an attempt and still failed gets exactly one unbudgeted retry.
 pub fn suite_rescue_retries(rows: &[SuiteRow]) -> usize {
     rows.iter().map(|r| r.rescue_retries).sum()
+}
+
+/// Total prover panics contained at the attempt boundary across `rows`, all provers
+/// summed — the number behind the Figure 15 footer and the `suite_crashes` bench
+/// gauge. Zero on every healthy run; nonzero only when a prover genuinely panicked
+/// or `JAHOB_FAULTS` injected one.
+pub fn suite_crashes(rows: &[SuiteRow]) -> usize {
+    rows.iter()
+        .flat_map(|r| r.per_prover.values())
+        .map(|s| s.crashes)
+        .sum()
+}
+
+/// Total prover attempts stopped at the configured wall-clock deadline across
+/// `rows` — the `suite_deadline_aborts` bench gauge. Zero unless
+/// `JAHOB_DEADLINE_MS` (or [`jahob_provers::DispatcherConfig::deadline_ms`]) is set.
+pub fn suite_deadline_aborts(rows: &[SuiteRow]) -> usize {
+    rows.iter()
+        .flat_map(|r| r.per_prover.values())
+        .map(|s| s.deadline_aborts)
+        .sum()
 }
 
 /// Renders suite rows as a Figure 15-style table. Each prover cell shows
@@ -338,6 +361,14 @@ pub fn render_figure15(rows: &[SuiteRow]) -> String {
     if aborts > 0 || rescues > 0 {
         out.push_str(&format!(
             "Fuel budgets: {aborts} attempts aborted, {rescues} sequents rescued unbudgeted across the suite.\n"
+        ));
+    }
+    let crashes = suite_crashes(rows);
+    let deadline_aborts = suite_deadline_aborts(rows);
+    if crashes > 0 || deadline_aborts > 0 {
+        out.push_str(&format!(
+            "Fault containment: {crashes} prover crashes contained, {deadline_aborts} attempts \
+             deadline-stopped across the suite.\n"
         ));
     }
     out

@@ -154,6 +154,19 @@ impl Verifier {
     pub fn flush(&self) -> std::io::Result<usize> {
         self.dispatcher.flush_store()
     }
+
+    /// Number of `(prover, feature-bucket)` cells the measured cost model currently
+    /// holds — 0 until a budgeted batch commits its observations or a persistent
+    /// `cost-model.jahob` profile warm-loads at construction.
+    pub fn cost_model_cells(&self) -> usize {
+        self.dispatcher.cost_model().len()
+    }
+
+    /// Store/cost-model flushes that failed transiently and were rescued by the
+    /// dispatcher's bounded retry (see `Dispatcher::store_retries`).
+    pub fn store_retries(&self) -> usize {
+        self.dispatcher.store_retries()
+    }
 }
 
 #[cfg(test)]

@@ -90,6 +90,13 @@ impl FolResult {
     pub fn resource_limited(&self) -> bool {
         self.outcome == Some(ResolutionOutcome::ResourceLimit)
     }
+
+    /// `true` when the attempt stopped because it passed the wall-clock deadline of
+    /// [`ResolutionLimits::deadline`] — also an unknown verdict, but attributed to
+    /// time rather than fuel.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.outcome == Some(ResolutionOutcome::DeadlineLimit)
+    }
 }
 
 /// Translates a sequent to clauses and attempts to refute them.

@@ -28,6 +28,12 @@ pub struct ResolutionLimits {
     /// Wall-clock budget in milliseconds (a safety net so that a single proof attempt
     /// cannot stall a verification run; `0` disables the check).
     pub max_millis: u64,
+    /// Absolute wall-clock deadline, checked at the same cooperative point of the
+    /// given-clause loop as `max_millis`. Unlike the relative budget, passing the
+    /// deadline is reported as the distinguished
+    /// [`ResolutionOutcome::DeadlineLimit`] so callers can attribute the stop to
+    /// time rather than fuel. `None` (the default) disables the check.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for ResolutionLimits {
@@ -38,6 +44,7 @@ impl Default for ResolutionLimits {
             max_clause_size: 48,
             max_literals: 6,
             max_millis: 2_000,
+            deadline: None,
         }
     }
 }
@@ -52,6 +59,10 @@ pub enum ResolutionOutcome {
     Saturated,
     /// A resource limit was reached.
     ResourceLimit,
+    /// The wall-clock deadline ([`ResolutionLimits::deadline`]) passed before the
+    /// loop reached an answer. Like `ResourceLimit`, the verdict is unknown — but
+    /// the stop is attributed to time, not fuel.
+    DeadlineLimit,
 }
 
 /// Statistics from a saturation run.
@@ -103,6 +114,11 @@ pub fn saturate(
         if let Some(d) = deadline {
             if start.elapsed() > d {
                 return (ResolutionOutcome::ResourceLimit, stats);
+            }
+        }
+        if let Some(d) = limits.deadline {
+            if Instant::now() >= d {
+                return (ResolutionOutcome::DeadlineLimit, stats);
             }
         }
         stats.iterations += 1;

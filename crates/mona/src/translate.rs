@@ -40,6 +40,12 @@ pub struct MonaOptions {
     /// Per-automaton state cap of intermediate products/determinisations; exceeding
     /// it also counts as budget exhaustion.
     pub max_states: usize,
+    /// Wall-clock deadline for the attempt, checked cooperatively at the same sites
+    /// as the work budget ([`Decider`]'s charge points). Passing the deadline stops
+    /// the attempt with [`MonaResult::deadline_exceeded`] set — the verdict is
+    /// unknown, exactly like budget exhaustion, but attributed to time rather than
+    /// fuel. `None` (the default) disables the check.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for MonaOptions {
@@ -48,6 +54,7 @@ impl Default for MonaOptions {
             max_tracks: 10,
             max_work: 4_000_000,
             max_states: 768,
+            deadline: None,
         }
     }
 }
@@ -66,6 +73,11 @@ pub struct MonaResult {
     /// — the verdict is *unknown*, not "not proved": a larger budget might decide
     /// the sequent either way.
     pub budget_exhausted: bool,
+    /// `true` when the attempt stopped because it passed its wall-clock deadline
+    /// ([`MonaOptions::deadline`]) — also an *unknown* verdict, but attributed to
+    /// time rather than fuel (and therefore never mistaken for budget exhaustion:
+    /// when the deadline fires, `budget_exhausted` stays `false`).
+    pub deadline_exceeded: bool,
 }
 
 /// Attempts to prove a sequent with the WS1S decision procedure.
@@ -84,6 +96,7 @@ pub fn prove_sequent(sequent: &Sequent, options: &MonaOptions) -> MonaResult {
             applicable: false,
             tracks: 0,
             budget_exhausted: false,
+            deadline_exceeded: false,
         };
     }
     let implication = Form::implies(Form::and(assumptions), goal);
@@ -96,6 +109,7 @@ pub fn prove_sequent(sequent: &Sequent, options: &MonaOptions) -> MonaResult {
             applicable: false,
             tracks: cx.vars.len(),
             budget_exhausted: false,
+            deadline_exceeded: false,
         };
     };
     // `null` is modelled as a distinguished first-order position. Its identity is not
@@ -114,15 +128,20 @@ pub fn prove_sequent(sequent: &Sequent, options: &MonaOptions) -> MonaResult {
             applicable: false,
             tracks,
             budget_exhausted: false,
+            deadline_exceeded: false,
         };
     }
-    let decider = Decider::with_budget(&ws, options.max_work).with_max_states(options.max_states);
+    let decider = Decider::with_budget(&ws, options.max_work)
+        .with_max_states(options.max_states)
+        .with_deadline(options.deadline);
     let outcome = decider.decide(&ws);
+    let deadline_exceeded = decider.deadline_exceeded();
     MonaResult {
         proved: matches!(outcome, Ws1sOutcome::Valid),
         applicable: true,
         tracks,
-        budget_exhausted: matches!(outcome, Ws1sOutcome::ResourceLimit),
+        budget_exhausted: matches!(outcome, Ws1sOutcome::ResourceLimit) && !deadline_exceeded,
+        deadline_exceeded,
     }
 }
 

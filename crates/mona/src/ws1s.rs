@@ -174,6 +174,8 @@ pub struct Decider {
     max_work: u64,
     max_states: usize,
     work: std::cell::Cell<u64>,
+    deadline: Option<std::time::Instant>,
+    deadline_hit: std::cell::Cell<bool>,
 }
 
 impl Decider {
@@ -196,6 +198,8 @@ impl Decider {
             max_work,
             max_states: 768,
             work: std::cell::Cell::new(0),
+            deadline: None,
+            deadline_hit: std::cell::Cell::new(false),
         }
     }
 
@@ -206,8 +210,29 @@ impl Decider {
         self
     }
 
-    /// Charges `amount` units of work; returns `None` once the budget is exhausted.
+    /// Sets a wall-clock deadline, checked at every work-charge point (the same
+    /// cooperative hooks the fuel budget uses). Passing the deadline stops the
+    /// decision with [`Ws1sOutcome::ResourceLimit`] and marks
+    /// [`Decider::deadline_exceeded`].
+    pub fn with_deadline(mut self, deadline: Option<std::time::Instant>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// `true` when the last decision stopped because it passed its deadline.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline_hit.get()
+    }
+
+    /// Charges `amount` units of work; returns `None` once the budget is exhausted
+    /// or the wall-clock deadline has passed.
     fn charge(&self, amount: u64) -> Option<()> {
+        if let Some(deadline) = self.deadline {
+            if std::time::Instant::now() >= deadline {
+                self.deadline_hit.set(true);
+                return None;
+            }
+        }
         if self.max_work == 0 {
             return Some(());
         }
@@ -232,6 +257,7 @@ impl Decider {
     /// Decides validity of the formula.
     pub fn decide(&self, formula: &Ws1s) -> Ws1sOutcome {
         self.work.set(0);
+        self.deadline_hit.set(false);
         // Valid iff the negation (conjoined with well-formedness of first-order tracks)
         // has empty language.
         let negated = Ws1s::Not(Box::new(formula.clone()));

@@ -23,6 +23,7 @@
 //! header, strict all-or-nothing parse, warned cold start on corruption, and
 //! atomic-rename merge writes (live cells win — they subsume what was loaded).
 
+use crate::faults::{FaultPlane, IoOp, IoTarget};
 use crate::store::{parse_prover, prover_tag};
 use crate::ProverId;
 use jahob_logic::features::FeatureBucket;
@@ -244,11 +245,20 @@ impl fmt::Display for ModelError {
     }
 }
 
+/// [`load_or_warn_with`] on the disabled fault plane (test convenience).
+#[cfg(test)]
+pub(crate) fn load_or_warn(path: &Path) -> Vec<(ProverId, FeatureBucket, CostStat)> {
+    load_or_warn_with(path, FaultPlane::disabled())
+}
+
 /// Loads the model at `path` leniently: missing file → empty (silent); corrupt,
 /// truncated or future-versioned → empty plus one stderr warning. The model is
-/// advisory, so a cold start is always safe.
-pub(crate) fn load_or_warn(path: &Path) -> Vec<(ProverId, FeatureBucket, CostStat)> {
-    match load(path) {
+/// advisory, so a cold start is always safe (injected read errors included).
+pub(crate) fn load_or_warn_with(
+    path: &Path,
+    faults: &FaultPlane,
+) -> Vec<(ProverId, FeatureBucket, CostStat)> {
+    match load_with(path, faults) {
         Ok(cells) => cells,
         Err(ModelError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
         Err(e) => {
@@ -261,8 +271,20 @@ pub(crate) fn load_or_warn(path: &Path) -> Vec<(ProverId, FeatureBucket, CostSta
     }
 }
 
-/// Strictly parses the model at `path`: all-or-nothing, like the proof store.
+/// [`load_with`] on the disabled fault plane (test convenience).
+#[cfg(test)]
 pub(crate) fn load(path: &Path) -> Result<Vec<(ProverId, FeatureBucket, CostStat)>, ModelError> {
+    load_with(path, FaultPlane::disabled())
+}
+
+/// Strictly parses the model at `path`: all-or-nothing, like the proof store.
+fn load_with(
+    path: &Path,
+    faults: &FaultPlane,
+) -> Result<Vec<(ProverId, FeatureBucket, CostStat)>, ModelError> {
+    faults
+        .io_op(IoTarget::CostModel, IoOp::Read)
+        .map_err(ModelError::Io)?;
     let text = std::fs::read_to_string(path).map_err(ModelError::Io)?;
     parse(&text)
 }
@@ -346,17 +368,42 @@ fn parse(text: &str) -> Result<Vec<(ProverId, FeatureBucket, CostStat)>, ModelEr
     Ok(cells)
 }
 
-/// Merge-writes `live` cells into the model at `path`: existing parseable cells are
-/// read back, live cells win on collision (they absorbed the disk state at load),
-/// and the union is written via a unique temp file and an atomic rename — the same
-/// torn-file-proof discipline as the proof store. Returns the number of cells
-/// written.
+/// [`merge_write_with`] on the disabled fault plane (test convenience).
+#[cfg(test)]
 pub(crate) fn merge_write(
     path: &Path,
     live: Vec<(ProverId, FeatureBucket, CostStat)>,
 ) -> std::io::Result<usize> {
+    merge_write_with(path, live, FaultPlane::disabled())
+}
+
+/// Merge-writes `live` cells into the model at `path`: existing parseable cells are
+/// read back, live cells win on collision (they absorbed the disk state at load),
+/// and the union is written via a unique temp file and an atomic rename — the same
+/// torn-file-proof discipline as the proof store, with the same three fault kill
+/// points as [`crate::store::merge_write_with`] (re-read, tmp-file write, and the
+/// torn instant between write and rename), under the same error discipline: a
+/// profile that exists but cannot be read fails the flush instead of being
+/// overwritten, so the dispatcher's bounded retry can absorb the transient.
+pub(crate) fn merge_write_with(
+    path: &Path,
+    live: Vec<(ProverId, FeatureBucket, CostStat)>,
+    faults: &FaultPlane,
+) -> std::io::Result<usize> {
     let mut cells: HashMap<Key, CostStat> = HashMap::new();
-    for (prover, bucket, stat) in load_or_warn(path).into_iter().chain(live) {
+    let existing = match load_with(path, faults) {
+        Ok(cells) => cells,
+        Err(ModelError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(ModelError::Io(e)) => return Err(e),
+        Err(e) => {
+            eprintln!(
+                "warning: ignoring cost model {} ({e}); starting cold",
+                path.display()
+            );
+            Vec::new()
+        }
+    };
+    for (prover, bucket, stat) in existing.into_iter().chain(live) {
         cells.insert((prover, bucket), stat);
     }
     let mut cells: Vec<(Key, CostStat)> = cells.into_iter().collect();
@@ -385,10 +432,14 @@ pub(crate) fn merge_write(
         std::process::id(),
         WRITE_SEQ.fetch_add(1, Ordering::Relaxed)
     ));
+    faults.io_op(IoTarget::CostModel, IoOp::Write)?;
     let mut file = std::fs::File::create(&tmp)?;
     file.write_all(out.as_bytes())?;
     file.sync_all()?;
     drop(file);
+    // The `torn` kill point — see `store::merge_write_with`: the tmp file stays,
+    // the old profile stays visible.
+    faults.io_op(IoTarget::CostModel, IoOp::Rename)?;
     match std::fs::rename(&tmp, path) {
         Ok(()) => Ok(cells.len()),
         Err(e) => {

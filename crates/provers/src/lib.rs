@@ -53,15 +53,18 @@
 
 pub mod cache;
 pub mod costmodel;
+pub mod faults;
 pub mod inst;
 pub mod router;
 pub mod store;
 
 pub use cache::{CacheStats, SequentCache, SequentKey};
 pub use costmodel::{cost_model_path, CostModel, CostStat, COST_MODEL_VERSION};
+pub use faults::FaultSpec;
 pub use store::{store_path, STORE_VERSION};
 
 use cache::{CacheKey, CachedOutcome, FailureKey};
+use faults::FaultPlane;
 use inst::apply_inst_hints;
 use jahob_logic::norm::{canonicalize, inline_definitions};
 use jahob_logic::simplify::{simplify, strip_comments_deep};
@@ -387,6 +390,24 @@ pub struct DispatcherConfig {
     /// budgets differential test pins this. `false` restores the pre-cost-model
     /// behaviour exactly (static routing, unlimited attempts, no timing collection).
     pub budgets: bool,
+    /// Wall-clock deadline per prover attempt, in milliseconds (`JAHOB_DEADLINE_MS`).
+    /// Checked cooperatively at the provers' existing fuel hooks (MONA's work
+    /// charges, FOL's given-clause loop, SMT's DPLL steps), so an attempt that
+    /// passes its deadline stops within one hook interval and is counted as a
+    /// [`ProverStats::deadline_aborts`] — an *unknown* verdict that is never
+    /// failure-memoized and never cached. The syntactic, BAPA and interactive
+    /// provers have no long-running loops and are exempt. `None` (the default)
+    /// disables the check; unlike fuel budgets, a deadline deliberately trades
+    /// completeness for a predictable time bound (deadline-stopped attempts are
+    /// *not* rescued).
+    pub deadline_ms: Option<u64>,
+    /// Deterministic fault injection ([`FaultSpec`], `JAHOB_FAULTS`) for the
+    /// torture harness: panics/delays into prover attempts, I/O errors and torn
+    /// writes into the proof-store and cost-model persistence. The default (empty)
+    /// spec injects nothing and is pinned byte-identical to a dispatcher without a
+    /// fault plane. Faults are not part of the cache fingerprint because a cascade
+    /// that observed a crash or deadline stop is never cached at all.
+    pub faults: FaultSpec,
 }
 
 impl Default for DispatcherConfig {
@@ -465,6 +486,20 @@ impl DispatcherConfigBuilder {
         self
     }
 
+    /// Sets the per-attempt wall-clock deadline in milliseconds (see
+    /// [`DispatcherConfig::deadline_ms`]). The builder default is no deadline.
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.config.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Arms a deterministic fault-injection spec (see [`DispatcherConfig::faults`]
+    /// and [`faults`]). The builder default injects nothing.
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.config.faults = spec;
+        self
+    }
+
     /// Applies the `JAHOB_*` environment overrides **on top of** everything set so
     /// far (see [`DispatcherConfig::with_env_overrides`]). Call it last: knobs set
     /// after it win over the environment again.
@@ -493,6 +528,8 @@ impl DispatcherConfig {
                 granularity: 1,
                 route: true,
                 budgets: true,
+                deadline_ms: None,
+                faults: FaultSpec::default(),
             },
         }
     }
@@ -561,6 +598,12 @@ impl DispatcherConfig {
         if let Some(budgets) = env_knob("JAHOB_BUDGETS", parse_switch_knob) {
             self.budgets = budgets;
         }
+        if let Some(ms) = env_knob("JAHOB_DEADLINE_MS", parse_millis_knob) {
+            self.deadline_ms = Some(ms);
+        }
+        if let Some(spec) = env_knob("JAHOB_FAULTS", parse_faults_knob) {
+            self.faults = spec;
+        }
         self
     }
 
@@ -570,13 +613,21 @@ impl DispatcherConfig {
     /// another.
     fn fingerprint(&self) -> String {
         let order: Vec<&str> = self.order.iter().map(|p| p.display_name()).collect();
-        format!(
+        let mut fingerprint = format!(
             "order={}|hints={}|route={}|budgets={}",
             order.join(","),
             self.use_hints,
             self.route,
             self.budgets
-        )
+        );
+        // Only appended when a deadline is armed, so stores written before the
+        // deadline knob existed keep warm-starting deadline-free runs unchanged.
+        // (A deadline can suppress proofs, so deadline verdicts must never be
+        // served to deadline-free configurations, and vice versa.)
+        if let Some(ms) = self.deadline_ms {
+            fingerprint.push_str(&format!("|deadline={ms}"));
+        }
+        fingerprint
     }
 }
 
@@ -627,6 +678,26 @@ fn parse_switch_knob(name: &str, value: &str) -> Result<bool, String> {
     }
 }
 
+/// Parses a milliseconds knob (`JAHOB_DEADLINE_MS`): any non-negative integer.
+/// `0` is accepted as the degenerate always-expired deadline (every fuel-hooked
+/// attempt stops at its first cooperative check — useful for torture tests).
+fn parse_millis_knob(name: &str, value: &str) -> Result<u64, String> {
+    value.trim().parse::<u64>().map_err(|_| {
+        format!(
+            "warning: ignoring {name}={value:?}: expected a number of milliseconds; \
+             keeping the default"
+        )
+    })
+}
+
+/// Parses the fault-injection knob (`JAHOB_FAULTS`) through [`FaultSpec::parse`],
+/// wrapping its entry-level diagnostics into the standard knob warning. An empty
+/// value parses as the empty (no-fault) spec.
+fn parse_faults_knob(name: &str, value: &str) -> Result<FaultSpec, String> {
+    FaultSpec::parse(value)
+        .map_err(|e| format!("warning: ignoring {name}={value:?}: {e}; keeping the default"))
+}
+
 /// Parses a directory-path knob (`JAHOB_CACHE_DIR`): any non-empty value (after
 /// trimming) is accepted as a path; an empty value is rejected with a warning naming
 /// the variable (an empty dir would silently resolve to the current directory).
@@ -660,6 +731,15 @@ pub struct ProverStats {
     /// were aborted rather than allowed to fail. Aborted attempts never enter the
     /// failure memo — the verdict is unknown, not negative.
     pub budget_aborts: usize,
+    /// Of `attempted`, how many panicked and were contained by the cascade's
+    /// `catch_unwind` — the prover misbehaved, the dispatch survived. Crashed
+    /// attempts are never failure-memoized (the verdict is unknown, not negative)
+    /// and a cascade containing one is never cached.
+    pub crashes: usize,
+    /// Of `attempted`, how many were stopped at the wall-clock deadline
+    /// ([`DispatcherConfig::deadline_ms`]) — also unknown verdicts, never memoized,
+    /// never cached, and (unlike fuel aborts) deliberately not rescued.
+    pub deadline_aborts: usize,
     /// Total time spent in this prover.
     pub time: Duration,
 }
@@ -708,6 +788,16 @@ impl VerificationReport {
     /// Total prover attempts aborted on a fuel budget across all provers.
     pub fn budget_aborts(&self) -> usize {
         self.per_prover.values().map(|s| s.budget_aborts).sum()
+    }
+
+    /// Total prover panics contained by the cascade across all provers.
+    pub fn crashes(&self) -> usize {
+        self.per_prover.values().map(|s| s.crashes).sum()
+    }
+
+    /// Total prover attempts stopped at the wall-clock deadline across all provers.
+    pub fn deadline_aborts(&self) -> usize {
+        self.per_prover.values().map(|s| s.deadline_aborts).sum()
     }
 
     /// Renders the report in the style of Figure 7 of the paper. When the result cache
@@ -768,6 +858,14 @@ impl VerificationReport {
                 self.rescue_retries
             ));
         }
+        if self.crashes() > 0 || self.deadline_aborts() > 0 {
+            out.push_str(&format!(
+                "Fault containment: {} prover crashes contained, {} attempts stopped at \
+                 the deadline.\n",
+                self.crashes(),
+                self.deadline_aborts()
+            ));
+        }
         if self.succeeded() {
             out.push_str(&format!("[{task_name}]\n0=== Verification SUCCEEDED.\n"));
         } else {
@@ -790,6 +888,8 @@ impl VerificationReport {
             entry.cache_hits += s.cache_hits;
             entry.skipped += s.skipped;
             entry.budget_aborts += s.budget_aborts;
+            entry.crashes += s.crashes;
+            entry.deadline_aborts += s.deadline_aborts;
             entry.time += s.time;
         }
         self.total_sequents += other.total_sequents;
@@ -866,6 +966,12 @@ pub struct Dispatcher {
     /// buffered during a batch and committed only between batches, so every routed
     /// order within one `prove_all` is computed against a frozen model.
     model: Arc<CostModel>,
+    /// The armed fault plane (shared by clones so operation counting stays one
+    /// deterministic sequence per dispatcher tree). Empty config → no-op plane.
+    faults: Arc<FaultPlane>,
+    /// Store/cost-model write attempts that had to be retried after a transient
+    /// I/O failure (shared by clones; see [`Dispatcher::store_retries`]).
+    store_retries: Arc<AtomicUsize>,
 }
 
 impl Default for Dispatcher {
@@ -883,14 +989,28 @@ impl Dispatcher {
     /// Creates a dispatcher with the given configuration and a fresh cache. Under
     /// [`CacheMode::Persistent`] the proof store is loaded here (missing file =
     /// silent cold start; corrupt or version-mismatched file = warned cold start).
-    pub fn with_config(config: DispatcherConfig) -> Self {
+    /// A store directory that cannot be created or written warns once and degrades
+    /// the cache to [`CacheMode::Memory`] — an unwritable cache dir must never turn
+    /// into a panic at drop time or a silent loss of the in-memory cache.
+    pub fn with_config(mut config: DispatcherConfig) -> Self {
+        let faults = Arc::new(FaultPlane::new(&config.faults));
+        if let CacheMode::Persistent { dir, .. } = &config.cache {
+            if let Err(e) = probe_store_dir(dir) {
+                eprintln!(
+                    "warning: proof-store directory {} is not writable ({e}); \
+                     degrading to the in-memory cache",
+                    dir.display()
+                );
+                config.cache = CacheMode::Memory;
+            }
+        }
         let cache = Arc::new(SequentCache::new());
         let model = Arc::new(CostModel::new());
         let store = if let CacheMode::Persistent { dir, flush } = &config.cache {
             let path = store_path(dir);
-            cache.absorb(store::load_or_warn(&path));
+            cache.absorb(store::load_or_warn_with(&path, &faults));
             let model_path = costmodel::cost_model_path(dir);
-            model.absorb(costmodel::load_or_warn(&model_path));
+            model.absorb(costmodel::load_or_warn_with(&model_path, &faults));
             Some(Arc::new(StoreHandle {
                 path,
                 model_path,
@@ -905,6 +1025,8 @@ impl Dispatcher {
             batches: Arc::new(AtomicUsize::new(0)),
             store,
             model,
+            faults,
+            store_retries: Arc::new(AtomicUsize::new(0)),
         }
     }
 
@@ -915,44 +1037,125 @@ impl Dispatcher {
     /// and atomically renames it over the store) and never lose each other's
     /// entries (each re-reads the store and overlays its own snapshot before
     /// writing).
+    /// Transient I/O failures (including injected ones) are retried with a short
+    /// backoff before the error is surfaced; [`Dispatcher::store_retries`] counts
+    /// the retries.
     pub fn flush_store(&self) -> std::io::Result<usize> {
         match &self.store {
             Some(handle) => {
                 self.model.commit();
                 if !self.model.is_empty() {
-                    costmodel::merge_write(&handle.model_path, self.model.export())?;
+                    self.with_retry(|| {
+                        costmodel::merge_write_with(
+                            &handle.model_path,
+                            self.model.export(),
+                            &self.faults,
+                        )
+                    })?;
                 }
-                store::merge_write(&handle.path, self.cache.export())
+                self.with_retry(|| {
+                    store::merge_write_with(&handle.path, self.cache.export(), &self.faults)
+                })
             }
             None => Ok(0),
         }
     }
+
+    /// Number of store/cost-model write attempts that failed transiently and were
+    /// retried (shared across clones). Zero unless the filesystem — or an injected
+    /// `store:`/`costmodel:` fault — made a flush fail and a retry rescued it.
+    pub fn store_retries(&self) -> usize {
+        self.store_retries.load(Ordering::Relaxed)
+    }
+
+    /// Runs a store write up to three times, sleeping briefly between attempts.
+    /// Merge-writes are idempotent (each re-reads the file and overlays the same
+    /// snapshot), so retrying a failed attempt is always safe.
+    fn with_retry<T>(&self, mut op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+        const BACKOFF_MS: [u64; 2] = [1, 5];
+        let mut attempt = 0;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if attempt < BACKOFF_MS.len() => {
+                    std::thread::sleep(Duration::from_millis(BACKOFF_MS[attempt]));
+                    self.store_retries.fetch_add(1, Ordering::Relaxed);
+                    attempt += 1;
+                    let _ = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The implicit last-drop flush, factored out of `Drop` so tests can exercise it
+    /// without capturing stderr: performs the retried merge-writes and returns one
+    /// warning line per store file that still could not be written.
+    fn drop_flush_warnings(&self) -> Vec<String> {
+        let mut warnings = Vec::new();
+        if let Some(handle) = &self.store {
+            if let Err(e) = self.with_retry(|| {
+                store::merge_write_with(&handle.path, self.cache.export(), &self.faults)
+            }) {
+                warnings.push(format!(
+                    "warning: failed to flush proof store {}: {e}",
+                    handle.path.display()
+                ));
+            }
+            self.model.commit();
+            if !self.model.is_empty() {
+                if let Err(e) = self.with_retry(|| {
+                    costmodel::merge_write_with(
+                        &handle.model_path,
+                        self.model.export(),
+                        &self.faults,
+                    )
+                }) {
+                    warnings.push(format!(
+                        "warning: failed to flush cost model {}: {e}",
+                        handle.model_path.display()
+                    ));
+                }
+            }
+        }
+        warnings
+    }
+}
+
+/// Checks that `dir` exists (creating it if needed) and is writable, by creating and
+/// removing a uniquely named probe file. Called once per dispatcher construction so
+/// an unusable [`CacheMode::Persistent`] directory degrades up front instead of
+/// failing at the final flush.
+fn probe_store_dir(dir: &std::path::Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let probe = dir.join(format!(".jahob-probe.{}", std::process::id()));
+    std::fs::write(&probe, b"probe")?;
+    std::fs::remove_file(&probe)
 }
 
 impl Drop for Dispatcher {
     /// Flushes the persistent store when this is the last dispatcher sharing the
     /// cache and the mode asked for it (`flush: true`). A failed implicit flush only
-    /// warns — dropping must not panic; call [`Dispatcher::flush_store`] explicitly
-    /// to observe the error. (Two clones dropped concurrently can in principle both
-    /// see a sharer and skip; the explicit call is the reliable path.)
+    /// warns — dropping must not panic, even if the flush path itself panics; call
+    /// [`Dispatcher::flush_store`] explicitly to observe the error. (Two clones
+    /// dropped concurrently can in principle both see a sharer and skip; the
+    /// explicit call is the reliable path.)
     fn drop(&mut self) {
         if let Some(handle) = &self.store {
             if handle.flush_on_drop && Arc::strong_count(&self.cache) == 1 {
-                if let Err(e) = store::merge_write(&handle.path, self.cache.export()) {
-                    eprintln!(
-                        "warning: failed to flush proof store {}: {e}",
-                        handle.path.display()
-                    );
-                }
-                self.model.commit();
-                if !self.model.is_empty() {
-                    if let Err(e) = costmodel::merge_write(&handle.model_path, self.model.export())
-                    {
-                        eprintln!(
-                            "warning: failed to flush cost model {}: {e}",
-                            handle.model_path.display()
-                        );
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.drop_flush_warnings()
+                }));
+                match outcome {
+                    Ok(warnings) => {
+                        for w in warnings {
+                            eprintln!("{w}");
+                        }
                     }
+                    Err(_) => eprintln!(
+                        "warning: implicit flush of proof store {} panicked; store left as-is",
+                        handle.path.display()
+                    ),
                 }
             }
         }
@@ -1157,6 +1360,13 @@ impl Dispatcher {
         let mut report =
             self.prove_one_uncached(obligation, context, hinted.as_ref(), &full, Some(&memo));
         report.cache_misses = 1;
+        // A cascade that contained a crash or a deadline stop has attempts with
+        // *unknown* verdicts: caching its outcome would freeze a fault-perturbed
+        // verdict into the store and replay it on healthy runs. Leave it uncached —
+        // the next run (without the fault) recomputes it cleanly.
+        if report.crashes() > 0 || report.deadline_aborts() > 0 {
+            return report;
+        }
         let prover = report
             .per_prover
             .iter()
@@ -1346,7 +1556,19 @@ impl Dispatcher {
                 }
             }
         }
-        report.unproved.push(obligation.sequent.describe());
+        // An unproved obligation whose cascade contained crashes or deadline stops is
+        // attributed: the reader of the report can tell "no prover could prove this"
+        // apart from "the provers that might have proved this were stopped". Faults
+        // off and no deadline → the suffix never appears and the line is byte-for-byte
+        // what it always was.
+        let mut description = obligation.sequent.describe();
+        let (crashes, deadlines) = (report.crashes(), report.deadline_aborts());
+        if crashes > 0 || deadlines > 0 {
+            description.push_str(&format!(
+                " [contained: {crashes} crashed, {deadlines} deadline-stopped]"
+            ));
+        }
+        report.unproved.push(description);
         report
     }
 
@@ -1402,7 +1624,19 @@ impl Dispatcher {
                 }
             }
             let start = Instant::now();
-            let outcome = attempt(prover, sequent, obligation, context, fuel.as_ref());
+            let deadline = self
+                .config
+                .deadline_ms
+                .map(|ms| start + Duration::from_millis(ms));
+            let outcome = contained_attempt(
+                &self.faults,
+                prover,
+                sequent,
+                obligation,
+                context,
+                fuel.as_ref(),
+                deadline,
+            );
             let elapsed = start.elapsed();
             if self.config.budgets {
                 self.model.observe(
@@ -1426,6 +1660,19 @@ impl Dispatcher {
                     // the rescue pass can rerun it without fuel.
                     stats.budget_aborts += 1;
                     aborted.push(prover);
+                }
+                AttemptOutcome::Crashed => {
+                    // Unknown verdict, like a budget abort — but not rescued (a
+                    // rerun would crash again) and never memoized. The cascade just
+                    // moves on to the next prover.
+                    stats.crashes += 1;
+                }
+                AttemptOutcome::DeadlineExceeded => {
+                    // The attempt hit the configured wall-clock deadline; its
+                    // verdict is unknown, so it is neither memoized nor rescued
+                    // (rescue exists for fuel aborts, whose reruns are bounded —
+                    // rerunning a deadline stop would just burn the deadline again).
+                    stats.deadline_aborts += 1;
                 }
                 AttemptOutcome::Failed => {
                     if let Some((cache, site)) = memoized {
@@ -1467,15 +1714,22 @@ fn var_classes(context: &ProverContext, sequent: &jahob_logic::Sequent) -> Strin
     classes
 }
 
-/// The three-way verdict of one prover attempt. `Failed` is a completed negative run
+/// The verdict of one prover attempt. `Failed` is a completed negative run
 /// — identical to what an unbudgeted run would conclude, so it may be memoized.
 /// `BudgetAborted` means the attempt ran out of fuel with the verdict still unknown;
-/// it must be neither memoized nor treated as a failure.
+/// it must be neither memoized nor treated as a failure. The two containment
+/// outcomes are likewise unknown-verdict stops: `Crashed` is a prover panic caught
+/// at the attempt boundary, `DeadlineExceeded` a cooperative wall-clock stop
+/// ([`DispatcherConfig::deadline_ms`]). Neither is memoized, neither is rescued —
+/// a crash would just crash again, and a deadline exists precisely to bound the
+/// attempt's wall clock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum AttemptOutcome {
     Proved,
     Failed,
     BudgetAborted,
+    Crashed,
+    DeadlineExceeded,
 }
 
 /// Cooperative fuel for one budgeted cascade: deterministic work units, not wall
@@ -1525,12 +1779,19 @@ fn fuel_for(features: &SequentFeatures) -> FuelBudget {
 /// its limits and report [`AttemptOutcome::BudgetAborted`] when they hit them;
 /// without it they run with their standing (effectively unlimited) budgets, and a
 /// resource stop is reported as a plain failure exactly as before.
+///
+/// With `deadline` present, the long-running provers (MONA, SMT, FOL) additionally
+/// check the wall clock at their existing fuel sites and stop with
+/// [`AttemptOutcome::DeadlineExceeded`] once it passes. The deadline check is
+/// independent of `fuel`: it fires with budgets off too. The syntactic, BAPA and
+/// interactive provers have no long-running loops and are exempt.
 fn attempt(
     prover: ProverId,
     sequent: &jahob_logic::Sequent,
     obligation: &ProofObligation,
     context: &ProverContext,
     fuel: Option<&FuelBudget>,
+    deadline: Option<Instant>,
 ) -> AttemptOutcome {
     let verdict = |proved: bool| {
         if proved {
@@ -1547,9 +1808,12 @@ fn attempt(
                 opts.max_work = fuel.mona_work;
                 opts.max_states = fuel.mona_states;
             }
+            opts.deadline = deadline;
             let result = jahob_mona::prove_sequent(sequent, &opts);
             if result.proved {
                 AttemptOutcome::Proved
+            } else if result.deadline_exceeded {
+                AttemptOutcome::DeadlineExceeded
             } else if fuel.is_some() && result.budget_exhausted {
                 AttemptOutcome::BudgetAborted
             } else {
@@ -1565,9 +1829,12 @@ fn attempt(
             if let Some(fuel) = fuel {
                 opts.ground_limits.max_steps = fuel.smt_steps.min(opts.ground_limits.max_steps);
             }
+            opts.ground_limits.deadline = deadline;
             let result = jahob_smt::prove_sequent(sequent, &opts);
             if result.proved {
                 AttemptOutcome::Proved
+            } else if result.outcome == jahob_smt::GroundOutcome::Deadline {
+                AttemptOutcome::DeadlineExceeded
             } else if fuel.is_some() && result.outcome == jahob_smt::GroundOutcome::Unknown {
                 // `Unknown` is a truncated search (step budget or clause cap), not a
                 // countermodel; the deterministic DPLL search means any *completed*
@@ -1584,9 +1851,12 @@ fn attempt(
             // Keep the resolution budget modest: the FOL prover is a fallback behind the
             // SMT prover in the default order.
             opts.limits.max_iterations = fuel.map_or(300, |f| f.fol_iterations.min(300));
+            opts.limits.deadline = deadline;
             let result = jahob_folp::prove_sequent(sequent, &opts);
             if result.proved {
                 AttemptOutcome::Proved
+            } else if result.deadline_exceeded() {
+                AttemptOutcome::DeadlineExceeded
             } else if fuel.is_some() && result.resource_limited() {
                 AttemptOutcome::BudgetAborted
             } else {
@@ -1597,6 +1867,34 @@ fn attempt(
             verdict(jahob_bapa::prove_sequent(sequent, &jahob_bapa::BapaOptions::default()).proved)
         }
         ProverId::Interactive => verdict(context.lemmas.contains(obligation)),
+    }
+}
+
+/// Runs one prover attempt inside the fault-containment boundary: any injected fault
+/// for `prover` fires first (so delays count against the attempt's own deadline),
+/// and the whole attempt runs under [`std::panic::catch_unwind`]. A panicking prover
+/// — injected or genuine — becomes [`AttemptOutcome::Crashed`] instead of unwinding
+/// through the dispatcher (and, under threaded dispatch, aborting the process).
+/// Injected panics are silenced by the quiet panic hook; genuine prover panics still
+/// print their message before being contained.
+fn contained_attempt(
+    faults: &FaultPlane,
+    prover: ProverId,
+    sequent: &jahob_logic::Sequent,
+    obligation: &ProofObligation,
+    context: &ProverContext,
+    fuel: Option<&FuelBudget>,
+    deadline: Option<Instant>,
+) -> AttemptOutcome {
+    faults::install_quiet_panic_hook();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        faults.prover_attempt(prover);
+        attempt(prover, sequent, obligation, context, fuel, deadline)
+    }));
+    faults::clear_injected_panic_marker();
+    match outcome {
+        Ok(verdict) => verdict,
+        Err(_) => AttemptOutcome::Crashed,
     }
 }
 
@@ -2458,5 +2756,264 @@ mod tests {
             "the drop-flushed verdict replays"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn jahob_deadline_ms_invalid_value_warns_and_keeps_the_default() {
+        assert_eq!(parse_millis_knob("JAHOB_DEADLINE_MS", "250"), Ok(250));
+        assert_eq!(parse_millis_knob("JAHOB_DEADLINE_MS", "0"), Ok(0));
+        let warning = parse_millis_knob("JAHOB_DEADLINE_MS", "fast").unwrap_err();
+        assert!(warning.contains("JAHOB_DEADLINE_MS"), "{warning}");
+        assert!(warning.contains("\"fast\""), "{warning}");
+        assert!(warning.starts_with("warning:"), "{warning}");
+    }
+
+    #[test]
+    fn jahob_faults_invalid_value_warns_and_keeps_the_default() {
+        let spec = parse_faults_knob("JAHOB_FAULTS", "smt:panic@3;store:io@2").expect("valid spec");
+        assert_eq!(spec.to_string(), "smt:panic@3;store:io@2");
+        let warning = parse_faults_knob("JAHOB_FAULTS", "smt:reboot").unwrap_err();
+        assert!(warning.contains("JAHOB_FAULTS"), "{warning}");
+        assert!(warning.contains("\"smt:reboot\""), "{warning}");
+        assert!(warning.starts_with("warning:"), "{warning}");
+    }
+
+    #[test]
+    fn deadline_is_part_of_the_cache_fingerprint_only_when_set() {
+        // Deadline stops perturb attempt counts and verdict attribution, so deadline
+        // runs must not share cache entries with unconstrained runs — but the common
+        // no-deadline case must keep the exact pre-deadline fingerprint so existing
+        // proof stores stay warm.
+        let plain = DispatcherConfig::builder().build();
+        let bounded = DispatcherConfig::builder().deadline_ms(250).build();
+        assert!(
+            !plain.fingerprint().contains("deadline"),
+            "{}",
+            plain.fingerprint()
+        );
+        assert!(
+            bounded.fingerprint().contains("|deadline=250"),
+            "{}",
+            bounded.fingerprint()
+        );
+        assert_ne!(plain.fingerprint(), bounded.fingerprint());
+    }
+
+    #[test]
+    fn injected_prover_panics_are_contained_and_attributed() {
+        // Crash every prover on every attempt: the cascade must walk its whole
+        // order, contain each panic, and degrade to an attributed Unproved — the
+        // process-survival half of the tentpole in miniature.
+        let spec = FaultSpec::parse(
+            "syntactic:panic@1;smt:panic@1;mona:panic@1;bapa:panic@1;fol:panic@1;\
+             interactive:panic@1",
+        )
+        .expect("valid spec");
+        let dispatcher = Dispatcher::with_config(
+            DispatcherConfig::builder()
+                .cache(CacheMode::Off)
+                .faults(spec)
+                .build(),
+        );
+        let o = ob(&["x = y"], "y = x");
+        let report = dispatcher.prove_one(&o, &ProverContext::default());
+        assert!(!report.succeeded(), "every prover crashed");
+        assert_eq!(report.crashes(), ProverId::default_order().len());
+        assert_eq!(report.proved_sequents, 0);
+        assert!(
+            report.unproved[0].contains("[contained: 6 crashed, 0 deadline-stopped]"),
+            "{:?}",
+            report.unproved
+        );
+        let rendered = report.render("t");
+        assert!(
+            rendered.contains("Fault containment: 6 prover crashes contained"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn faults_against_losing_provers_leave_verdicts_unchanged() {
+        // Crashing a prover that would not have won must not change the verdict:
+        // the syntactic prover still proves the sequent after SMT's crash is
+        // contained... but SMT comes later in the default order, so crash the
+        // syntactic prover itself and let SMT pick the sequent up.
+        let spec = FaultSpec::parse("syntactic:panic@1").expect("valid spec");
+        let dispatcher = Dispatcher::with_config(
+            DispatcherConfig::builder()
+                .cache(CacheMode::Off)
+                .faults(spec)
+                .build(),
+        );
+        let o = ob(&["x = y + 1", "0 <= y"], "1 <= x");
+        let report = dispatcher.prove_one(&o, &ProverContext::default());
+        assert!(report.succeeded(), "{report:?}");
+        assert_eq!(report.crashes(), 1);
+        assert!(
+            !report.render("t").contains("unproved"),
+            "the verdict must not change"
+        );
+    }
+
+    #[test]
+    fn contained_cascades_are_never_cached() {
+        // A fault-perturbed outcome must not be frozen into the cache: the second
+        // prove_one must be a fresh miss, not a replay of the crashed run.
+        let spec = FaultSpec::parse("interactive:panic@1").expect("valid spec");
+        let dispatcher = Dispatcher::with_config(DispatcherConfig::builder().faults(spec).build());
+        let o = ob(&["p"], "q");
+        let context = ProverContext::default();
+        let first = dispatcher.prove_one(&o, &context);
+        assert!(!first.succeeded() && first.crashes() > 0, "{first:?}");
+        assert_eq!(first.cache_misses, 1);
+        let second = dispatcher.prove_one(&o, &context);
+        assert_eq!(second.cache_hits, 0, "contained cascade must not be cached");
+        assert_eq!(second.cache_misses, 1);
+    }
+
+    #[test]
+    fn zero_deadline_stops_fuel_hooked_provers_but_not_cheap_ones() {
+        // deadline_ms = 0 is the degenerate always-expired deadline: every
+        // cooperative check fires immediately, so MONA/SMT/FOL attempts become
+        // deadline stops — while the syntactic prover (no long loops, exempt)
+        // still proves its sequents, keeping trivial verification alive.
+        let config = || {
+            DispatcherConfig::builder()
+                .cache(CacheMode::Off)
+                .deadline_ms(0)
+                .build()
+        };
+        let dispatcher = Dispatcher::with_config(config());
+        let context = ProverContext::default();
+        let trivial = dispatcher.prove_one(&ob(&["x = y"], "y = x"), &context);
+        assert!(trivial.succeeded(), "syntactic proofs are deadline-exempt");
+        let hard = dispatcher.prove_one(&fuel_hungry_unprovable(), &context);
+        assert!(!hard.succeeded());
+        assert!(
+            hard.deadline_aborts() > 0,
+            "the fuel-hooked provers must stop at the deadline: {hard:?}"
+        );
+        assert!(
+            hard.unproved[0].contains("deadline-stopped]"),
+            "{:?}",
+            hard.unproved
+        );
+    }
+
+    #[test]
+    fn transient_store_faults_are_retried_and_counted() {
+        let dir =
+            std::env::temp_dir().join(format!("jahob-provers-faults-{}-retry", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Every third store I/O operation fails. The construction-time warm load is
+        // op 1; flush #1 is then (read 2, write 3) — the write fails and the bounded
+        // retry re-runs the idempotent merge-write (ops 4, 5) to completion; flush
+        // #2 opens with a failing read (op 6) and is rescued the same way (7, 8).
+        let spec = FaultSpec::parse("store:io@3").expect("valid spec");
+        let dispatcher = Dispatcher::with_config(
+            DispatcherConfig::builder()
+                .cache(CacheMode::Persistent {
+                    dir: dir.clone(),
+                    flush: false,
+                })
+                .faults(spec)
+                .build(),
+        );
+        let o = ob(&["x = y"], "y = x");
+        assert!(dispatcher
+            .prove_one(&o, &ProverContext::default())
+            .succeeded());
+        assert!(
+            dispatcher
+                .flush_store()
+                .expect("first flush survives the fault")
+                >= 1
+        );
+        assert_eq!(dispatcher.store_retries(), 1, "one rescue retry");
+        assert!(
+            dispatcher
+                .flush_store()
+                .expect("second flush survives the fault")
+                >= 1
+        );
+        assert_eq!(dispatcher.store_retries(), 2, "one more rescue retry");
+        let warm = Dispatcher::with_config(
+            DispatcherConfig::builder()
+                .cache(CacheMode::Persistent {
+                    dir: dir.clone(),
+                    flush: false,
+                })
+                .build(),
+        );
+        let replay = warm.prove_one(&o, &ProverContext::default());
+        assert_eq!(replay.cache_disk_hits, 1, "the retried flush reached disk");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_drop_flush_warns_once_per_file_and_never_panics() {
+        let dir = std::env::temp_dir().join(format!(
+            "jahob-provers-faults-{}-drop-warn",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Every store I/O operation fails, so all three retry attempts of the
+        // store merge-write fail; the cost-model file is unfaulted and flushes.
+        let spec = FaultSpec::parse("store:io@1").expect("valid spec");
+        let dispatcher = Dispatcher::with_config(
+            DispatcherConfig::builder()
+                .cache(CacheMode::Persistent {
+                    dir: dir.clone(),
+                    flush: true,
+                })
+                .faults(spec)
+                .build(),
+        );
+        assert!(dispatcher
+            .prove_one(&ob(&["x = y"], "y = x"), &ProverContext::default())
+            .succeeded());
+        let warnings = dispatcher.drop_flush_warnings();
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(
+            warnings[0].starts_with("warning: failed to flush proof store"),
+            "{warnings:?}"
+        );
+        assert!(
+            warnings[0].contains(&store_path(&dir).display().to_string()),
+            "the warning must name the path: {warnings:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_cache_dir_degrades_to_memory_mode() {
+        // A store dir nested under a regular file can never be created, for root
+        // and non-root alike (read-only permission bits are ignored under root, so
+        // this is the portable way to make `create_dir_all` fail).
+        let blocker = std::env::temp_dir().join(format!(
+            "jahob-provers-faults-{}-blocker",
+            std::process::id()
+        ));
+        std::fs::write(&blocker, b"not a directory").expect("create blocker file");
+        let dir = blocker.join("store");
+        let dispatcher = Dispatcher::with_config(
+            DispatcherConfig::builder()
+                .cache(CacheMode::Persistent {
+                    dir: dir.clone(),
+                    flush: true,
+                })
+                .build(),
+        );
+        assert_eq!(
+            dispatcher.config.cache,
+            CacheMode::Memory,
+            "unusable persistent dir must degrade to the in-memory cache"
+        );
+        let o = ob(&["x = y"], "y = x");
+        let report = dispatcher.prove_one(&o, &ProverContext::default());
+        assert!(report.succeeded());
+        assert_eq!(dispatcher.flush_store().expect("no-op flush"), 0);
+        drop(dispatcher); // must not warn or panic: there is no store handle
+        let _ = std::fs::remove_file(&blocker);
     }
 }

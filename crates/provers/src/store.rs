@@ -37,6 +37,7 @@
 //! is ever lost, and a later flush from either process re-contributes the remainder.
 
 use crate::cache::{CacheKey, CachedOutcome, FailureKey, SequentKey};
+use crate::faults::{FaultPlane, IoOp, IoTarget};
 use crate::ProverId;
 use std::collections::HashMap;
 use std::fmt;
@@ -97,12 +98,20 @@ impl fmt::Display for StoreError {
     }
 }
 
+/// [`load_or_warn_with`] on the disabled fault plane (test convenience).
+#[cfg(test)]
+pub(crate) fn load_or_warn(path: &Path) -> StoreData {
+    load_or_warn_with(path, FaultPlane::disabled())
+}
+
 /// Loads the store at `path` leniently: missing file → empty (silent); anything the
 /// strict parser rejects → empty plus a single stderr warning naming the path and
 /// the reason. This is the cold-start-never-crash contract of the dispatcher's
-/// construction-time load.
-pub(crate) fn load_or_warn(path: &Path) -> StoreData {
-    match load(path) {
+/// construction-time load. The torture harness injects read errors through the
+/// fault plane here; they surface exactly like any other unreadable store — a
+/// warned cold start, never a crash.
+pub(crate) fn load_or_warn_with(path: &Path, faults: &FaultPlane) -> StoreData {
+    match load_with(path, faults) {
         Ok(data) => data,
         Err(StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => StoreData::default(),
         Err(e) => {
@@ -115,10 +124,19 @@ pub(crate) fn load_or_warn(path: &Path) -> StoreData {
     }
 }
 
+/// [`load_with`] on the disabled fault plane (test convenience).
+#[cfg(test)]
+pub(crate) fn load(path: &Path) -> Result<StoreData, StoreError> {
+    load_with(path, FaultPlane::disabled())
+}
+
 /// Strictly parses the store at `path`. All-or-nothing: any malformed record makes
 /// the whole file unusable (partial loads could replay a half-written verdict set as
 /// if it were complete).
-pub(crate) fn load(path: &Path) -> Result<StoreData, StoreError> {
+fn load_with(path: &Path, faults: &FaultPlane) -> Result<StoreData, StoreError> {
+    faults
+        .io_op(IoTarget::Store, IoOp::Read)
+        .map_err(StoreError::Io)?;
     let text = std::fs::read_to_string(path).map_err(StoreError::Io)?;
     parse(&text)
 }
@@ -227,16 +245,48 @@ fn parse(text: &str) -> Result<StoreData, StoreError> {
     Ok(data)
 }
 
+/// [`merge_write_with`] on the disabled fault plane (test convenience).
+#[cfg(test)]
+pub(crate) fn merge_write(path: &Path, live: StoreData) -> std::io::Result<usize> {
+    merge_write_with(path, live, FaultPlane::disabled())
+}
+
 /// Merge-writes `live` into the store at `path`: existing parseable contents are
 /// read back and the live snapshot overlaid (live verdicts win, failure masks OR),
 /// then the union is written to a temp file in the same directory and atomically
-/// renamed over the store. Returns the number of verdict records written. A corrupt
-/// existing file is warned about and overwritten (it contributed nothing to loads
-/// either).
-pub(crate) fn merge_write(path: &Path, live: StoreData) -> std::io::Result<usize> {
+/// renamed over the store. Returns the number of verdict records written.
+///
+/// The fault plane's injection points, in write order: the
+/// re-read of the existing store, the tmp-file creation (`io` faults), and the
+/// instant between tmp-file write and atomic rename (`torn` faults — the tmp file
+/// is left behind and the previous store stays in place, exactly the state a crash
+/// there would leave).
+///
+/// Error discipline of the re-read: a *missing* store is the normal first flush, a
+/// *corrupt* store is warned and overwritten (it contributed nothing to loads
+/// either), but a store that exists and cannot be **read** fails the whole flush —
+/// overwriting on a transient I/O error would discard every entry the file still
+/// holds, and the dispatcher's bounded retry exists precisely to absorb such
+/// transients.
+pub(crate) fn merge_write_with(
+    path: &Path,
+    live: StoreData,
+    faults: &FaultPlane,
+) -> std::io::Result<usize> {
     let mut verdicts: HashMap<CacheKey, CachedOutcome> = HashMap::new();
     let mut failures: HashMap<FailureKey, u8> = HashMap::new();
-    let existing = load_or_warn(path);
+    let existing = match load_with(path, faults) {
+        Ok(data) => data,
+        Err(StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => StoreData::default(),
+        Err(StoreError::Io(e)) => return Err(e),
+        Err(e) => {
+            eprintln!(
+                "warning: ignoring proof store {} ({e}); starting cold",
+                path.display()
+            );
+            StoreData::default()
+        }
+    };
     for (key, outcome) in existing.verdicts.into_iter().chain(live.verdicts) {
         verdicts.insert(key, outcome);
     }
@@ -300,10 +350,16 @@ pub(crate) fn merge_write(path: &Path, live: StoreData) -> std::io::Result<usize
         std::process::id(),
         WRITE_SEQ.fetch_add(1, Ordering::Relaxed)
     ));
+    faults.io_op(IoTarget::Store, IoOp::Write)?;
     let mut file = std::fs::File::create(&tmp)?;
     file.write_all(out.as_bytes())?;
     file.sync_all()?;
     drop(file);
+    // The `torn` kill point: a crash here has written the whole tmp file but never
+    // made it visible. The injected form returns the error *without* cleaning up,
+    // so the torture harness observes exactly that state (tmp debris, old store
+    // intact and still parseable).
+    faults.io_op(IoTarget::Store, IoOp::Rename)?;
     match std::fs::rename(&tmp, path) {
         Ok(()) => Ok(written),
         Err(e) => {

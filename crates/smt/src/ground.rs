@@ -137,6 +137,10 @@ pub enum GroundOutcome {
     Sat,
     /// Resource limits exceeded.
     Unknown,
+    /// The wall-clock deadline ([`GroundLimits::deadline`]) passed before the search
+    /// reached an answer. Like `Unknown`, the verdict is open — but the stop is
+    /// attributed to time, not to the step budget.
+    Deadline,
 }
 
 /// Limits for the ground search.
@@ -144,11 +148,18 @@ pub enum GroundOutcome {
 pub struct GroundLimits {
     /// Maximum number of DPLL decisions + conflicts.
     pub max_steps: usize,
+    /// Absolute wall-clock deadline, checked at the same cooperative point as the
+    /// step budget (once per DPLL step). Passing it stops the search with
+    /// [`GroundOutcome::Deadline`]. `None` (the default) disables the check.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for GroundLimits {
     fn default() -> Self {
-        GroundLimits { max_steps: 6_000 }
+        GroundLimits {
+            max_steps: 6_000,
+            deadline: None,
+        }
     }
 }
 
@@ -177,15 +188,18 @@ pub fn check_clauses(clauses: &[GClause], limits: GroundLimits) -> GroundOutcome
 
     let mut steps = 0usize;
     let mut assignment: Vec<Option<bool>> = vec![None; atoms.len()];
+    let mut deadline_hit = false;
     match dpll(
         &atoms,
         &mut index_clauses,
         &mut assignment,
         &mut steps,
-        limits.max_steps,
+        limits,
+        &mut deadline_hit,
     ) {
         Some(true) => GroundOutcome::Sat,
         Some(false) => GroundOutcome::Unsat,
+        None if deadline_hit => GroundOutcome::Deadline,
         None => GroundOutcome::Unknown,
     }
 }
@@ -198,11 +212,18 @@ fn dpll(
     clauses: &mut Vec<Vec<(usize, bool)>>,
     assignment: &mut Vec<Option<bool>>,
     steps: &mut usize,
-    max_steps: usize,
+    limits: GroundLimits,
+    deadline_hit: &mut bool,
 ) -> Option<bool> {
     *steps += 1;
-    if *steps > max_steps {
+    if *steps > limits.max_steps {
         return None;
+    }
+    if let Some(deadline) = limits.deadline {
+        if std::time::Instant::now() >= deadline {
+            *deadline_hit = true;
+            return None;
+        }
     }
     // Unit propagation.
     let mut trail: Vec<usize> = Vec::new();
@@ -263,7 +284,7 @@ fn dpll(
             let mut res = None;
             for value in [true, false] {
                 assignment[a] = Some(value);
-                match dpll(atoms, clauses, assignment, steps, max_steps) {
+                match dpll(atoms, clauses, assignment, steps, limits, deadline_hit) {
                     Some(true) => {
                         res = Some(true);
                         break;
@@ -547,7 +568,13 @@ mod tests {
             clauses.push(vec![GLiteral::pos(p.clone()), GLiteral::pos(q.clone())]);
             clauses.push(vec![GLiteral::neg(p), GLiteral::neg(q)]);
         }
-        let out = check_clauses(&clauses, GroundLimits { max_steps: 3 });
+        let out = check_clauses(
+            &clauses,
+            GroundLimits {
+                max_steps: 3,
+                ..GroundLimits::default()
+            },
+        );
         assert_eq!(out, GroundOutcome::Unknown);
     }
 }

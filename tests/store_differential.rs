@@ -145,6 +145,41 @@ fn route_worlds_never_answer_each_others_lookups() {
 }
 
 #[test]
+fn committed_seed_fixtures_warm_start_the_suite() {
+    // The seed store and cost-model profile committed under tests/fixtures/ are the
+    // CI warm-start seeds: a fresh checkout must be able to answer (nearly) the
+    // whole suite from them without proving anything first. This pins both the
+    // fixture files' parseability under the current STORE_VERSION and their
+    // fingerprint compatibility with the default (builder, env-free) configuration
+    // they were generated under. Regenerate them with
+    // `JAHOB_CACHE_DIR=tests/fixtures cargo run --release --example verify_suite`
+    // whenever the fingerprint or store format legitimately changes.
+    let fixtures = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let dir = temp_dir("seed-fixtures");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    for file in ["proof-store.jahob", "cost-model.jahob"] {
+        std::fs::copy(fixtures.join(file), dir.join(file)).expect("copy fixture");
+    }
+    let (verdicts, verifier) = run_full_suite(persistent_config(&dir, 1, true));
+    let total: usize = verdicts.iter().map(|v| v.total).sum();
+    let proved: usize = verdicts.iter().map(|v| v.proved).sum();
+    assert!(
+        total > 0 && proved == total,
+        "suite from seed: {proved}/{total}"
+    );
+    let disk = verifier.cache_stats().disk_hits as usize;
+    assert!(
+        disk * 10 >= total * 9,
+        "the committed seed must answer >=90% of {total} obligations, got {disk}"
+    );
+    assert!(
+        verifier.cost_model_cells() > 0,
+        "the committed cost-model profile must warm-load too"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn corrupt_truncated_and_future_version_stores_cold_start() {
     for (name, contents) in [
         ("garbage", "not a proof store\nat all\n".to_string()),

@@ -2,15 +2,21 @@
 """Assert the persistent proof store warm start actually happened.
 
 Usage: check_warm_start.py COLD_RUN_LOG WARM_RUN_LOG
+       check_warm_start.py --seeded SEEDED_RUN_LOG
 
-Both logs are the stdout of `cargo run --example verify_suite` executed with
+All logs are the stdout of `cargo run --example verify_suite` executed with
 JAHOB_CACHE_DIR set; the example prints one line per run of the form
 
     Persistent store: X of Y obligations answered from disk.
 
-The cold run (empty store directory) must report 0 disk answers; the warm run
-(second run against the same directory) must cover at least 90% of the suite's
-obligations from disk. Exits non-zero, naming the offending log, otherwise.
+Two-log mode: the cold run (empty store directory) must report 0 disk answers;
+the warm run (second run against the same directory) must cover at least 90% of
+the suite's obligations from disk.
+
+`--seeded` mode: the single log is a *first* run against a directory populated
+from the committed seed fixtures (tests/fixtures/*.jahob) — it must already be
+warm (>= 90% from disk), proving a fresh checkout can skip the proving pass
+entirely. Exits non-zero, naming the offending log, otherwise.
 """
 
 import re
@@ -30,9 +36,30 @@ def parse(path: str) -> tuple[int, int]:
     return int(m.group(1)), int(m.group(2))
 
 
+def check_seeded(path: str) -> None:
+    disk, total = parse(path)
+    if total == 0:
+        sys.exit(f"{path}: suite reported 0 obligations")
+    if disk * 10 < total * 9:
+        sys.exit(
+            f"{path}: seeded run answered only {disk} of {total} obligations "
+            "from disk (< 90%); the committed seed fixtures are stale or unreadable"
+        )
+    print(
+        f"seeded warm start OK: {disk}/{total} obligations answered from disk "
+        f"({100.0 * disk / total:.1f}%)"
+    )
+
+
 def main() -> None:
+    if len(sys.argv) == 3 and sys.argv[1] == "--seeded":
+        check_seeded(sys.argv[2])
+        return
     if len(sys.argv) != 3:
-        sys.exit(f"usage: {sys.argv[0]} COLD_RUN_LOG WARM_RUN_LOG")
+        sys.exit(
+            f"usage: {sys.argv[0]} COLD_RUN_LOG WARM_RUN_LOG | "
+            f"{sys.argv[0]} --seeded SEEDED_RUN_LOG"
+        )
     cold_path, warm_path = sys.argv[1], sys.argv[2]
 
     cold_disk, cold_total = parse(cold_path)
